@@ -1,0 +1,131 @@
+package hamlet
+
+import (
+	"fmt"
+	"time"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/ml"
+	"hamlet/internal/ml/nb"
+	"hamlet/internal/stats"
+)
+
+// PlanOutcome reports one join plan's end-to-end result: the selected
+// features, the holdout test error of the model trained on them, and the
+// feature-selection cost.
+type PlanOutcome struct {
+	// Plan is the evaluated join plan.
+	Plan Plan
+	// InputFeatures is the number of candidate features after the plan's
+	// joins.
+	InputFeatures int
+	// Selected names the features the method kept.
+	Selected []string
+	// ValError is the validation error of the selected subset.
+	ValError float64
+	// TestError is the final holdout test error.
+	TestError float64
+	// Elapsed is the wall-clock feature selection time.
+	Elapsed time.Duration
+	// Evaluations counts subset evaluations (a hardware-independent
+	// runtime proxy).
+	Evaluations int
+}
+
+// Report is the result of Analyze: the paper's JoinAll-versus-JoinOpt
+// comparison on one dataset.
+type Report struct {
+	// Dataset names the analyzed dataset.
+	Dataset string
+	// Metric is the error metric used ("zero-one" or "RMSE").
+	Metric string
+	// Decisions are the advisor's per-attribute-table verdicts.
+	Decisions []Decision
+	// JoinAll is the outcome of joining every attribute table.
+	JoinAll PlanOutcome
+	// JoinOpt is the outcome of the advisor's plan.
+	JoinOpt PlanOutcome
+	// Speedup is JoinAll's selection time over JoinOpt's.
+	Speedup float64
+}
+
+// Analyze runs the paper's end-to-end pipeline on a normalized dataset: the
+// advisor decides which joins are safe to avoid, then the feature selection
+// method runs over both the JoinAll and JoinOpt designs with Naive Bayes
+// under the 50/25/25 holdout protocol, and the report compares errors and
+// runtimes. The advisor may be nil for the paper's defaults.
+func Analyze(d *Dataset, method FeatureSelector, adv *Advisor, seed uint64) (*Report, error) {
+	if d == nil {
+		return nil, fmt.Errorf("hamlet: nil dataset")
+	}
+	if method == nil {
+		return nil, fmt.Errorf("hamlet: nil feature selection method")
+	}
+	if adv == nil {
+		adv = NewAdvisor()
+	}
+	optPlan, decisions, err := adv.JoinOptPlan(d)
+	if err != nil {
+		return nil, err
+	}
+	split, err := dataset.DefaultSplit(d.NumRows(), stats.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Dataset:   d.Name,
+		Metric:    ml.MetricName(d.NumClasses()),
+		Decisions: decisions,
+	}
+	rep.JoinAll, err = evaluatePlan(d, d.JoinAllPlan(), method, split)
+	if err != nil {
+		return nil, err
+	}
+	rep.JoinOpt, err = evaluatePlan(d, optPlan, method, split)
+	if err != nil {
+		return nil, err
+	}
+	if rep.JoinOpt.Elapsed > 0 {
+		rep.Speedup = float64(rep.JoinAll.Elapsed) / float64(rep.JoinOpt.Elapsed)
+	}
+	return rep, nil
+}
+
+// EvaluatePlan runs one feature selection pass over the given plan and
+// reports the selected subset's holdout test error. It shares its split
+// logic with Analyze but lets callers compare arbitrary plans (e.g. the
+// robustness study of Figure 8(A)).
+func EvaluatePlan(d *Dataset, p Plan, method FeatureSelector, seed uint64) (PlanOutcome, error) {
+	split, err := dataset.DefaultSplit(d.NumRows(), stats.NewRNG(seed))
+	if err != nil {
+		return PlanOutcome{}, err
+	}
+	return evaluatePlan(d, p, method, split)
+}
+
+func evaluatePlan(d *Dataset, p Plan, method FeatureSelector, split *Split) (PlanOutcome, error) {
+	design, err := d.Materialize(p)
+	if err != nil {
+		return PlanOutcome{}, err
+	}
+	train, val, test := split.Apply(design)
+	start := time.Now()
+	res, err := method.Select(nb.New(), train, val)
+	elapsed := time.Since(start)
+	if err != nil {
+		return PlanOutcome{}, err
+	}
+	testErr, err := ml.Evaluate(nb.New(), train, test, res.Features)
+	if err != nil {
+		return PlanOutcome{}, err
+	}
+	return PlanOutcome{
+		Plan:          p,
+		InputFeatures: design.NumFeatures(),
+		Selected:      res.FeatureNames(train),
+		ValError:      res.ValError,
+		TestError:     testErr,
+		Elapsed:       elapsed,
+		Evaluations:   res.Evaluations,
+	}, nil
+}

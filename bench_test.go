@@ -1,0 +1,302 @@
+package hamlet
+
+// Benchmark harness: one testing.B benchmark per paper table/figure (each
+// executes the full runner that regenerates that artifact at the Quick
+// budget — see internal/experiments and EXPERIMENTS.md), plus
+// micro-benchmarks for the substrate operations whose costs drive the
+// paper's runtime results (KFK joins, Naive Bayes fitting and prediction,
+// MI/IGR scoring, greedy selection steps, logistic regression epochs, and
+// the decision rules themselves).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig7 -benchtime=1x   # one full fig7 regeneration
+
+import (
+	"testing"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/experiments"
+	"hamlet/internal/fs"
+	"hamlet/internal/ml"
+	"hamlet/internal/ml/logreg"
+	"hamlet/internal/ml/nb"
+	"hamlet/internal/relational"
+	"hamlet/internal/stats"
+	"hamlet/internal/synth"
+)
+
+// benchBudget keeps figure regenerations affordable under -bench.
+var benchBudget = experiments.Budget{Worlds: 2, L: 6, NTest: 200, MimicScale: 0.02, Seed: 1}
+
+func benchFigure(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFig3(b *testing.B)  { benchFigure(b, "fig3") }
+func BenchmarkFig4(b *testing.B)  { benchFigure(b, "fig4") }
+func BenchmarkFig6(b *testing.B)  { benchFigure(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchFigure(b, "fig7") }
+func BenchmarkFig8A(b *testing.B) { benchFigure(b, "fig8a") }
+func BenchmarkFig8B(b *testing.B) { benchFigure(b, "fig8b") }
+func BenchmarkFig8C(b *testing.B) { benchFigure(b, "fig8c") }
+func BenchmarkFig9(b *testing.B)  { benchFigure(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13") }
+func BenchmarkTAN(b *testing.B)   { benchFigure(b, "tan") }
+
+// Substrate micro-benchmarks.
+
+func benchWorldDesign(n int) *dataset.Design {
+	w, err := synth.NewWorld(synth.SimConfig{Scenario: synth.OneXr, DS: 4, DR: 4, NR: 100, P: 0.1}, 1)
+	if err != nil {
+		panic(err)
+	}
+	return w.Sample(n, stats.NewRNG(2))
+}
+
+// BenchmarkKFKJoin measures materializing a KFK equi-join of a 100k-row
+// entity table with a 1k-row attribute table of 8 features.
+func BenchmarkKFKJoin(b *testing.B) {
+	rng := stats.NewRNG(3)
+	const nR, nS, dR = 1000, 100000, 8
+	r := relational.NewTable("R")
+	for j := 0; j < dR; j++ {
+		data := make([]int32, nR)
+		for i := range data {
+			data[i] = int32(rng.IntN(10))
+		}
+		r.MustAddColumn(&relational.Column{Name: "F" + string(rune('a'+j)), Card: 10, Data: data})
+	}
+	s := relational.NewTable("S")
+	fk := make([]int32, nS)
+	for i := range fk {
+		fk[i] = int32(rng.IntN(nR))
+	}
+	s.MustAddColumn(&relational.Column{Name: "FK", Card: nR, Data: fk})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relational.Join(s, "FK", r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNBFit measures tabulating Naive Bayes sufficient statistics over
+// a 50k-row, 9-feature design.
+func BenchmarkNBFit(b *testing.B) {
+	m := benchWorldDesign(50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nb.NewStats(m)
+	}
+}
+
+// BenchmarkNBPredict measures full-design prediction with a 9-feature model.
+func BenchmarkNBPredict(b *testing.B) {
+	m := benchWorldDesign(50000)
+	feats := make([]int, m.NumFeatures())
+	for i := range feats {
+		feats[i] = i
+	}
+	mod, err := nb.New().Fit(m, feats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.PredictAll(mod, m)
+	}
+}
+
+// BenchmarkNBSubsetAssembly measures the decomposability fast path: O(1)
+// model assembly from precomputed statistics — the reason wrapper search
+// scales with features, not with re-counting.
+func BenchmarkNBSubsetAssembly(b *testing.B) {
+	m := benchWorldDesign(50000)
+	st := nb.NewStats(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nb.ModelFromStats(st, []int{0, 2, 4}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMutualInformation measures I(F;Y) over 100k rows.
+func BenchmarkMutualInformation(b *testing.B) {
+	rng := stats.NewRNG(5)
+	n := 100000
+	f := make([]int32, n)
+	y := make([]int32, n)
+	for i := 0; i < n; i++ {
+		f[i] = int32(rng.IntN(50))
+		y[i] = int32(rng.IntN(5))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.MutualInformation(f, 50, y, 5)
+	}
+}
+
+// BenchmarkForwardSelection measures one full greedy forward search with the
+// Naive Bayes fast path over 9 candidate features.
+func BenchmarkForwardSelection(b *testing.B) {
+	m := benchWorldDesign(20000)
+	idx := make([]int, m.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	train := m.SelectRows(idx[:10000])
+	val := m.SelectRows(idx[10000:])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (fs.Forward{}).Select(nb.New(), train, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogregEpochs measures training L1 softmax regression (20 epochs)
+// on 10k rows with a 100-value FK among the features.
+func BenchmarkLogregEpochs(b *testing.B) {
+	m := benchWorldDesign(10000)
+	feats := make([]int, m.NumFeatures())
+	for i := range feats {
+		feats[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := logreg.New(logreg.L1).Fit(m, feats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkROR measures the decision-rule evaluation itself — the paper's
+// point is that this is effectively free compared to feature selection.
+func BenchmarkROR(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ROR(500000, 50000, 2, DefaultDelta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdvisor measures a full advisor pass over a generated mimic.
+func BenchmarkAdvisor(b *testing.B) {
+	spec, err := synth.MimicByName("Yelp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := spec.Generate(0.02, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := NewAdvisor()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adv.Decide(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOneHotEncode measures one-hot encoding 10k rows of 9 features.
+func BenchmarkOneHotEncode(b *testing.B) {
+	m := benchWorldDesign(10000)
+	feats := make([]int, m.NumFeatures())
+	for i := range feats {
+		feats[i] = i
+	}
+	enc := dataset.NewOneHot(m, feats)
+	row := make([]float64, enc.Dims)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < m.NumRows(); r++ {
+			enc.Row(r, row)
+		}
+	}
+}
+
+// BenchmarkNBFactorized measures factorized Naive Bayes training over a
+// normalized mimic — sufficient statistics without materializing the join
+// (companion-work [29] optimization; compare BenchmarkNBMaterialized).
+func BenchmarkNBFactorized(b *testing.B) {
+	spec, err := synth.MimicByName("Yelp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := spec.Generate(0.05, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nb.StatsFromDataset(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNBMaterialized measures the join-then-count baseline on the same
+// mimic: materialize JoinAll, then tabulate statistics.
+func BenchmarkNBMaterialized(b *testing.B) {
+	spec, err := synth.MimicByName("Yelp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := spec.Generate(0.05, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		design, err := ds.Materialize(ds.JoinAllPlan())
+		if err != nil {
+			b.Fatal(err)
+		}
+		nb.NewStats(design)
+	}
+}
+
+// BenchmarkMimicGenerate measures generating the largest mimic at 2% scale.
+func BenchmarkMimicGenerate(b *testing.B) {
+	spec, err := synth.MimicByName("MovieLens1M")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Generate(0.02, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

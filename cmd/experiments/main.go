@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's evaluation artifacts: every
+// table and figure (3, 4, 6, 7, 8A/B/C, 9, 10, 11, 12, 13, and the Appendix
+// E TAN study) from the simulation framework and the dataset mimics.
+//
+// Usage:
+//
+//	experiments                    # run everything at the full budget
+//	experiments -id fig7           # one experiment
+//	experiments -quick             # the fast budget (CI-sized)
+//	experiments -scale 0.05       # override the mimic scale
+//	experiments -csv out/          # also write each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hamlet/internal/experiments"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or \"all\"")
+		quick  = flag.Bool("quick", false, "use the fast budget instead of the full one")
+		scale  = flag.Float64("scale", 0, "override the mimic scale (0 keeps the budget default)")
+		worlds = flag.Int("worlds", 0, "override Monte Carlo world count (0 keeps default)")
+		l      = flag.Int("L", 0, "override training sets per world (0 keeps default)")
+		seed   = flag.Uint64("seed", 0, "override the seed (0 keeps default)")
+		csvDir = flag.String("csv", "", "directory to write per-table CSV files (optional)")
+	)
+	flag.Parse()
+
+	budget := experiments.Full
+	if *quick {
+		budget = experiments.Quick
+	}
+	if *scale != 0 {
+		budget.MimicScale = *scale
+	}
+	if *worlds != 0 {
+		budget.Worlds = *worlds
+	}
+	if *l != 0 {
+		budget.L = *l
+	}
+	if *seed != 0 {
+		budget.Seed = *seed
+	}
+
+	ids := experiments.IDs()
+	if *id != "all" {
+		ids = []string{*id}
+	}
+	for _, eid := range ids {
+		start := time.Now()
+		res, err := experiments.Run(eid, budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", eid, err)
+			os.Exit(1)
+		}
+		fmt.Printf("## %s (%v)\n\n", eid, time.Since(start).Round(time.Millisecond))
+		if err := res.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: render %s: %v\n", eid, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", eid, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSVs(dir string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, tab := range res.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", res.ID, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tab.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

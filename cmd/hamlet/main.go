@@ -1,0 +1,142 @@
+// Command hamlet is the join-avoidance advisor CLI: it applies the paper's
+// TR and ROR decision rules to a normalized dataset (one of the built-in
+// dataset mimics) and reports, per attribute table, whether the join is
+// predicted safe to avoid — optionally running the end-to-end JoinAll vs
+// JoinOpt feature selection comparison.
+//
+// Usage:
+//
+//	hamlet -dataset Walmart                 # advisor decisions only
+//	hamlet -dataset all                     # decisions for every dataset
+//	hamlet -dataset Yelp -analyze           # plus end-to-end comparison
+//	hamlet -dataset Flights -tolerance 0.01 # relaxed thresholds (τ=10, ρ=4.2)
+//	hamlet -dataset Walmart -rule ROR       # use the ROR rule instead of TR
+//	hamlet -schema mydata/spec.json         # run on your own CSVs
+//
+// A schema spec is a JSON file declaring the entity CSV, target column, and
+// KFK references (see hamlet.SchemaSpec for the format).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"hamlet"
+)
+
+func main() {
+	var (
+		name      = flag.String("dataset", "all", "dataset mimic name (Walmart, Expedia, Flights, Yelp, MovieLens1M, LastFM, BookCrossing) or \"all\"")
+		schema    = flag.String("schema", "", "JSON schema spec over your own CSV files (overrides -dataset)")
+		scale     = flag.Float64("scale", 0.1, "mimic scale in (0,1]; 1 reproduces the paper's row counts")
+		seed      = flag.Uint64("seed", 1, "generation seed")
+		rule      = flag.String("rule", "TR", "decision rule: TR or ROR")
+		tolerance = flag.Float64("tolerance", 0.001, "error tolerance: 0.001 (τ=20, ρ=2.5) or 0.01 (τ=10, ρ=4.2)")
+		analyze   = flag.Bool("analyze", false, "also run end-to-end JoinAll vs JoinOpt feature selection")
+		method    = flag.String("method", "forward", "feature selection method for -analyze: forward, backward, filter-MI, filter-IGR")
+	)
+	flag.Parse()
+
+	adv := hamlet.NewAdvisor()
+	switch strings.ToUpper(*rule) {
+	case "TR":
+		adv.Rule = hamlet.TRRule
+	case "ROR":
+		adv.Rule = hamlet.RORRule
+	default:
+		fatal("unknown rule %q (want TR or ROR)", *rule)
+	}
+	switch *tolerance {
+	case 0.001:
+		adv.Thresholds = hamlet.DefaultThresholds
+	case 0.01:
+		adv.Thresholds = hamlet.RelaxedThresholds
+	default:
+		fatal("tolerance must be 0.001 or 0.01 (tune others via hamlet.TuneThresholds)")
+	}
+
+	var datasets []*hamlet.Dataset
+	if *schema != "" {
+		ds, err := hamlet.LoadDataset(*schema)
+		if err != nil {
+			fatal("load %s: %v", *schema, err)
+		}
+		datasets = append(datasets, ds)
+	} else {
+		var specs []hamlet.MimicSpec
+		if *name == "all" {
+			specs = hamlet.Mimics()
+		} else {
+			spec, err := hamlet.MimicByName(*name)
+			if err != nil {
+				fatal("%v", err)
+			}
+			specs = []hamlet.MimicSpec{spec}
+		}
+		for _, spec := range specs {
+			ds, err := spec.Generate(*scale, *seed)
+			if err != nil {
+				fatal("generate %s: %v", spec.Name, err)
+			}
+			datasets = append(datasets, ds)
+		}
+	}
+
+	for _, ds := range datasets {
+		decisions, err := adv.Decide(ds)
+		if err != nil {
+			fatal("decide %s: %v", ds.Name, err)
+		}
+		fmt.Printf("dataset %s: n_S=%d rows, %d attribute tables (rule=%s, τ=%.3g, ρ=%.3g)\n",
+			ds.Name, ds.NumRows(), len(ds.Attrs), adv.Rule, adv.Thresholds.Tau, adv.Thresholds.Rho)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  attr table\tFK\tTR\tROR\tverdict\treason")
+		for _, dec := range decisions {
+			verdict := "KEEP (join)"
+			if dec.Considered && dec.Avoid {
+				verdict = "AVOID join"
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%.2f\t%.2f\t%s\t%s\n", dec.Attr, dec.FK, dec.TR, dec.ROR, verdict, dec.Reason)
+		}
+		tw.Flush()
+		if *analyze {
+			sel, err := selector(*method)
+			if err != nil {
+				fatal("%v", err)
+			}
+			rep, err := hamlet.Analyze(ds, sel, adv, *seed)
+			if err != nil {
+				fatal("analyze %s: %v", ds.Name, err)
+			}
+			fmt.Printf("  end-to-end (%s, metric %s):\n", *method, rep.Metric)
+			fmt.Printf("    JoinAll: %d features in, test error %.4f, selection %v (%d evals)\n",
+				rep.JoinAll.InputFeatures, rep.JoinAll.TestError, rep.JoinAll.Elapsed.Round(1e6), rep.JoinAll.Evaluations)
+			fmt.Printf("    JoinOpt: %d features in, test error %.4f, selection %v (%d evals)\n",
+				rep.JoinOpt.InputFeatures, rep.JoinOpt.TestError, rep.JoinOpt.Elapsed.Round(1e6), rep.JoinOpt.Evaluations)
+			fmt.Printf("    speedup: %.1fx; selected (JoinOpt): %s\n", rep.Speedup, strings.Join(rep.JoinOpt.Selected, " "))
+		}
+		fmt.Println()
+	}
+}
+
+func selector(name string) (hamlet.FeatureSelector, error) {
+	switch name {
+	case "forward":
+		return hamlet.ForwardSelection(), nil
+	case "backward":
+		return hamlet.BackwardSelection(), nil
+	case "filter-MI":
+		return hamlet.MIFilter(), nil
+	case "filter-IGR":
+		return hamlet.IGRFilter(), nil
+	}
+	return nil, fmt.Errorf("unknown method %q", name)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hamlet: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command simulate runs a single Monte Carlo bias–variance study (the
+// machinery behind the paper's Figures 3, 10, 11, and 13) for an arbitrary
+// simulation configuration, printing the Domingos decomposition of the three
+// model classes UseAll, NoJoin, and NoFK, together with the configuration's
+// ROR and tuple ratio.
+//
+// Usage:
+//
+//	simulate -scenario OneXr -ntrain 1000 -nr 40
+//	simulate -scenario AllXsXr -ntrain 500 -nr 100 -ds 4 -dr 4
+//	simulate -scenario OneXr -skew needle -needle 0.5   # malign FK skew
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"hamlet"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "OneXr", "true distribution: OneXr, AllXsXr, XsFkOnly")
+		nTrain   = flag.Int("ntrain", 1000, "training examples n_S")
+		nTest    = flag.Int("ntest", 1000, "test examples")
+		nr       = flag.Int("nr", 40, "attribute table size n_R = |D_FK|")
+		ds       = flag.Int("ds", 2, "entity-table features d_S")
+		dr       = flag.Int("dr", 4, "attribute-table features d_R")
+		p        = flag.Float64("p", 0.1, "scenario noise parameter")
+		skew     = flag.String("skew", "none", "FK skew: none, zipf, needle")
+		zipfS    = flag.Float64("zipf", 2, "Zipf exponent for -skew zipf")
+		needle   = flag.Float64("needle", 0.5, "needle probability for -skew needle")
+		worlds   = flag.Int("worlds", 10, "world realizations")
+		l        = flag.Int("L", 24, "training sets per world")
+		seed     = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	cfg := hamlet.SimConfig{DS: *ds, DR: *dr, NR: *nr, P: *p, ZipfS: *zipfS, NeedleP: *needle}
+	switch *scenario {
+	case "OneXr":
+		cfg.Scenario = hamlet.ScenarioOneXr
+	case "AllXsXr":
+		cfg.Scenario = hamlet.ScenarioAllXsXr
+	case "XsFkOnly":
+		cfg.Scenario = hamlet.ScenarioXsFkOnly
+	default:
+		fatal("unknown scenario %q", *scenario)
+	}
+	switch *skew {
+	case "none":
+	case "zipf":
+		cfg.Skew = 1
+	case "needle":
+		cfg.Skew = 2
+	default:
+		fatal("unknown skew %q", *skew)
+	}
+
+	out, err := hamlet.BiasVariance(cfg, hamlet.BiasVarConfig{
+		NTrain: *nTrain, NTest: *nTest, L: *l, Worlds: *worlds, Seed: *seed,
+		Learner: hamlet.NaiveBayes(),
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	ror, err := hamlet.ROR(*nTrain, *nr, 2, hamlet.DefaultDelta)
+	if err != nil {
+		fatal("%v", err)
+	}
+	tr, err := hamlet.TupleRatio(*nTrain, *nr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("scenario %s: n_S=%d |D_FK|=%d d_S=%d d_R=%d p=%.2f skew=%s\n",
+		*scenario, *nTrain, *nr, *ds, *dr, *p, *skew)
+	fmt.Printf("rules: TR=%.2f (τ=20 → avoid=%v), worst-case ROR=%.3f (ρ=2.5 → avoid=%v)\n\n",
+		tr, tr >= hamlet.DefaultThresholds.Tau, ror, ror <= hamlet.DefaultThresholds.Rho)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model class\ttest error\tbias\tnet variance\tnoise")
+	for _, name := range []string{"UseAll", "NoJoin", "NoFK"} {
+		d := out[name]
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\t%.4f\n", name, d.TestError, d.Bias, d.NetVariance, d.Noise)
+	}
+	tw.Flush()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "simulate: "+format+"\n", args...)
+	os.Exit(1)
+}

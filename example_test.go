@@ -1,0 +1,116 @@
+package hamlet_test
+
+import (
+	"fmt"
+
+	"hamlet"
+)
+
+// ExampleROR evaluates the worst-case Risk Of Representation for the
+// paper's Walmart/Indicators join: 210785 training rows, 2340 indicator
+// records, smallest foreign-feature domain 2.
+func ExampleROR() {
+	ror, err := hamlet.ROR(210785, 2340, 2, hamlet.DefaultDelta)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ROR = %.2f, avoid = %v\n", ror, ror <= hamlet.DefaultThresholds.Rho)
+	// Output:
+	// ROR = 1.77, avoid = true
+}
+
+// ExampleTupleRatio shows the TR rule on the paper's Flights airport
+// tables: 33274 training rows over 3182 airports is below τ = 20, so the
+// join is conservatively kept.
+func ExampleTupleRatio() {
+	tr, err := hamlet.TupleRatio(33274, 3182)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("TR = %.1f, avoid = %v\n", tr, tr >= hamlet.DefaultThresholds.Tau)
+	// Output:
+	// TR = 10.5, avoid = false
+}
+
+// ExampleAdvisor runs the full decision pipeline on a small normalized
+// dataset: orders referencing products through a closed-domain foreign key.
+func ExampleAdvisor() {
+	products := hamlet.NewTable("Products")
+	products.MustAddColumn(&hamlet.Column{Name: "Category", Card: 2, Data: []int32{0, 1, 0, 1}})
+	orders := hamlet.NewTable("Orders")
+	n := 400
+	returned := make([]int32, n)
+	productID := make([]int32, n)
+	for i := 0; i < n; i++ {
+		productID[i] = int32(i % 4)
+		returned[i] = int32((i % 4) / 2)
+	}
+	orders.MustAddColumn(&hamlet.Column{Name: "Returned", Card: 2, Data: returned})
+	orders.MustAddColumn(&hamlet.Column{Name: "ProductID", Card: 4, Data: productID})
+	ds := &hamlet.Dataset{
+		Name:   "Returns",
+		Entity: orders,
+		Target: "Returned",
+		Attrs: []hamlet.AttributeTable{
+			{Table: products, FK: "ProductID", ClosedDomain: true},
+		},
+	}
+	decisions, err := hamlet.NewAdvisor().Decide(ds)
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range decisions {
+		fmt.Printf("%s: TR=%.0f avoid=%v\n", d.Attr, d.TR, d.Avoid)
+	}
+	// Output:
+	// Products: TR=50 avoid=true
+}
+
+// ExampleRedundantFeatures applies Corollary C.1 to a declared FD set: the
+// dependent-side features are droppable a priori.
+func ExampleRedundantFeatures() {
+	fds := []hamlet.FD{
+		{Det: []string{"EmployerID"}, Dep: []string{"Country", "Revenue"}},
+		{Det: []string{"Country"}, Dep: []string{"Continent"}},
+	}
+	redundant, err := hamlet.RedundantFeatures(fds)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(redundant)
+	// Output:
+	// [Continent Country Revenue]
+}
+
+// ExampleDecomposeBCNF recovers the normalized schema of the paper's joined
+// table T: SID is the key of T and FK functionally determines the foreign
+// features, so the decomposition splits off the attribute table.
+func ExampleDecomposeBCNF() {
+	all := []string{"SID", "Y", "XS", "FK", "XR1", "XR2"}
+	fds := []hamlet.FD{
+		{Det: []string{"SID"}, Dep: []string{"Y", "XS", "FK"}},
+		{Det: []string{"FK"}, Dep: []string{"XR1", "XR2"}},
+	}
+	schemas, err := hamlet.DecomposeBCNF("T", all, fds)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range schemas {
+		fmt.Println(s.Name, s.Attrs)
+	}
+	// Output:
+	// T_1 [FK SID XS Y]
+	// T_2 [FK XR1 XR2]
+}
+
+// ExampleEqualWidthBins discretizes a numeric series the way the paper
+// preprocesses numeric features.
+func ExampleEqualWidthBins() {
+	col, err := hamlet.EqualWidthBins("Price", []float64{1, 2, 9, 10}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(col.Name, col.Card, col.Data)
+	// Output:
+	// Price 2 [0 0 1 1]
+}

@@ -1,0 +1,124 @@
+// Denormalized: the Appendix C generalization. Analysts often receive one
+// wide, already-joined table plus knowledge of its functional dependencies
+// (from documentation or profiling). Corollary C.1 says every feature on
+// the dependent side of an acyclic FD set is redundant and can be dropped a
+// priori, with the determinants as representatives — the same trick as
+// avoiding a KFK join, without any base tables in sight. This example
+// builds a wide sales table with numeric columns (binned, as the paper
+// prescribes), declares its FDs, verifies they hold, drops the redundant
+// features, and compares feature selection on the wide versus the reduced
+// table. It also demonstrates cold-start handling with a reserved Others
+// record.
+//
+//	go run ./examples/denormalized
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"strings"
+
+	"hamlet"
+)
+
+func main() {
+	const nStores, n = 30, 24000
+	rng := rand.New(rand.NewPCG(5, 5))
+
+	// Per-store attributes (functionally determined by StoreID).
+	region := make([]int32, nStores)
+	sqftRaw := make([]float64, nStores)
+	for i := range region {
+		region[i] = int32(rng.IntN(4))
+		sqftRaw[i] = 5000 + rng.Float64()*45000
+	}
+	// Bin the numeric square footage the way the paper does (§5).
+	sqftCol, err := hamlet.EqualWidthBins("SqftBand", sqftRaw, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The wide table: one row per sale, store attributes denormalized in.
+	storeID := make([]int32, n)
+	regionCol := make([]int32, n)
+	sqftBand := make([]int32, n)
+	promo := make([]int32, n)
+	hot := make([]int32, n)
+	for i := 0; i < n; i++ {
+		s := int32(rng.IntN(nStores))
+		storeID[i] = s
+		regionCol[i] = region[s]
+		sqftBand[i] = sqftCol.Data[s]
+		promo[i] = int32(rng.IntN(2))
+		// Concept: stores in region 0 with a promo sell hot.
+		p := 0.15
+		if region[s] == 0 && promo[i] == 1 {
+			p = 0.85
+		}
+		if rng.Float64() < p {
+			hot[i] = 1
+		}
+	}
+	wide := hamlet.NewTable("Sales")
+	wide.MustAddColumn(&hamlet.Column{Name: "Hot", Card: 2, Data: hot})
+	wide.MustAddColumn(&hamlet.Column{Name: "Promo", Card: 2, Data: promo})
+	wide.MustAddColumn(&hamlet.Column{Name: "StoreID", Card: nStores, Data: storeID})
+	wide.MustAddColumn(&hamlet.Column{Name: "Region", Card: 4, Data: regionCol})
+	wide.MustAddColumn(&hamlet.Column{Name: "SqftBand", Card: 8, Data: sqftBand})
+
+	// Declare and verify the FDs, then apply Corollary C.1.
+	fds := []hamlet.FD{{Det: []string{"StoreID"}, Dep: []string{"Region", "SqftBand"}}}
+	holds, err := hamlet.HoldsFDSet(wide, fds)
+	if err != nil || !holds {
+		log.Fatalf("declared FDs do not hold: %v", err)
+	}
+	redundant, err := hamlet.RedundantFeatures(fds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reps, err := hamlet.Representatives(fds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FDs hold; redundant features: %s\n", strings.Join(redundant, ", "))
+	for _, r := range redundant {
+		fmt.Printf("  %s is represented by %s\n", r, strings.Join(reps[r], ", "))
+	}
+
+	// Re-express the wide table as a normalized dataset so the advisor and
+	// the end-to-end pipeline apply: the redundant columns become the
+	// attribute table keyed by StoreID.
+	stores := hamlet.NewTable("Stores")
+	stores.MustAddColumn(&hamlet.Column{Name: "Region", Card: 4, Data: region})
+	stores.MustAddColumn(sqftCol)
+	entity := hamlet.NewTable("SalesEntity")
+	entity.MustAddColumn(&hamlet.Column{Name: "Hot", Card: 2, Data: hot})
+	entity.MustAddColumn(&hamlet.Column{Name: "Promo", Card: 2, Data: promo})
+	entity.MustAddColumn(&hamlet.Column{Name: "StoreID", Card: nStores, Data: storeID})
+	ds := &hamlet.Dataset{
+		Name:         "Sales",
+		Entity:       entity,
+		Target:       "Hot",
+		HomeFeatures: []string{"Promo"},
+		Attrs:        []hamlet.AttributeTable{{Table: stores, FK: "StoreID", ClosedDomain: true}},
+	}
+	rep, err := hamlet.Analyze(ds, hamlet.ForwardSelection(), nil, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwide table (JoinAll): %d features, test error %.4f\n",
+		rep.JoinAll.InputFeatures, rep.JoinAll.TestError)
+	fmt.Printf("reduced (JoinOpt):    %d features, test error %.4f, selected %s\n",
+		rep.JoinOpt.InputFeatures, rep.JoinOpt.TestError, strings.Join(rep.JoinOpt.Selected, ", "))
+
+	// Cold start: prepare an Others record so sales from stores opened
+	// after training still classify.
+	if err := hamlet.AddOthersRecord(ds, "StoreID"); err != nil {
+		log.Fatal(err)
+	}
+	incoming := []int32{3, 17, 55, 99} // two unseen store IDs
+	hamlet.MapUnseenRIDs(incoming, hamlet.OthersRID(ds.Attrs[0].Table))
+	fmt.Printf("\ncold start: incoming store IDs map to %v (Others RID = %d)\n",
+		incoming, hamlet.OthersRID(ds.Attrs[0].Table))
+}

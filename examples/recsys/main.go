@@ -1,0 +1,62 @@
+// Recsys: join avoidance on a recommender-style dataset. The MovieLens1M
+// mimic has ratings referencing Movies and Users through closed-domain
+// foreign keys — the exact setting where the paper found both joins safe to
+// avoid with the largest speedups (up to 186x for backward selection). This
+// example runs all four feature selection methods over JoinAll and JoinOpt
+// and prints the error/runtime comparison.
+//
+//	go run ./examples/recsys
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"hamlet"
+)
+
+func main() {
+	spec, err := hamlet.MimicByName("MovieLens1M")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := spec.Generate(0.05, 3) // 50k ratings
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv := hamlet.NewAdvisor()
+	decisions, err := adv.Decide(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s at 5%% scale: %d ratings\n", ds.Name, ds.NumRows())
+	for _, d := range decisions {
+		fmt.Printf("  %s (FK %s): TR=%.1f → avoid=%v\n", d.Attr, d.FK, d.TR, d.Avoid)
+	}
+	fmt.Println()
+
+	methods := map[string]hamlet.FeatureSelector{
+		"forward":    hamlet.ForwardSelection(),
+		"backward":   hamlet.BackwardSelection(),
+		"filter-MI":  hamlet.MIFilter(),
+		"filter-IGR": hamlet.IGRFilter(),
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\tJoinAll RMSE\tJoinOpt RMSE\tspeedup\tJoinOpt selected")
+	for _, name := range []string{"forward", "backward", "filter-MI", "filter-IGR"} {
+		rep, err := hamlet.Analyze(ds, methods[name], adv, 17)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.1fx\t%s\n",
+			name, rep.JoinAll.TestError, rep.JoinOpt.TestError, rep.Speedup,
+			strings.Join(rep.JoinOpt.Selected, " "))
+	}
+	tw.Flush()
+	fmt.Println()
+	fmt.Println("both joins avoided: MovieID and UserID represent the movie and user")
+	fmt.Println("features losslessly, so feature selection runs on 2 columns, not 27.")
+}

@@ -1,0 +1,64 @@
+// Source selection: the paper's §5.4/§7 use case. Analysts with many
+// candidate attribute tables (often purchased data) want to know which
+// tables are worth joining *before* paying for joins, exploration, or the
+// data itself. The TR rule needs only row counts; the ROR rule additionally
+// reads the candidate tables' feature domains — neither looks at a single
+// data value of X_R. This example ranks every attribute table of every
+// dataset mimic by its risk of representation and prints a buy/skip sheet.
+//
+//	go run ./examples/sourceselection
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"hamlet"
+)
+
+type candidate struct {
+	dataset, table string
+	dec            hamlet.Decision
+}
+
+func main() {
+	adv := hamlet.NewAdvisor()
+	var cands []candidate
+	for _, spec := range hamlet.Mimics() {
+		ds, err := spec.Generate(0.05, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		decisions, err := adv.Decide(ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range decisions {
+			if !d.Considered {
+				continue // open-domain FK or guard: always joined
+			}
+			cands = append(cands, candidate{spec.Name, d.Attr, d})
+		}
+	}
+	// Rank by ROR ascending: the lower the risk of representation, the
+	// less the table's features can add over its foreign key — the
+	// stronger the case for skipping it.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dec.ROR < cands[j].dec.ROR })
+
+	fmt.Println("source selection sheet: attribute tables ranked by join-avoidance risk")
+	fmt.Println("(low ROR / high TR → the FK already carries the table's information)")
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tdataset\ttable\tTR\tROR\tadvice")
+	for i, c := range cands {
+		advice := "JOIN IT — features may be indispensable"
+		if c.dec.Avoid {
+			advice = "skip — FK suffices"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%.1f\t%.2f\t%s\n", i+1, c.dataset, c.table, c.dec.TR, c.dec.ROR, advice)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,160 @@
+package hamlet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicFDAPI(t *testing.T) {
+	fds := []FD{
+		{Det: []string{"FK"}, Dep: []string{"Country", "Revenue"}},
+	}
+	ok, err := AcyclicFDs(fds)
+	if err != nil || !ok {
+		t.Fatalf("AcyclicFDs: %v %v", ok, err)
+	}
+	red, err := RedundantFeatures(fds)
+	if err != nil || len(red) != 2 {
+		t.Fatalf("RedundantFeatures: %v %v", red, err)
+	}
+	reps, err := Representatives(fds)
+	if err != nil || reps["Country"][0] != "FK" {
+		t.Fatalf("Representatives: %v %v", reps, err)
+	}
+	// Round trip through a real join.
+	r := NewTable("R")
+	r.MustAddColumn(&Column{Name: "Country", Card: 2, Data: []int32{0, 1}})
+	s := NewTable("S")
+	s.MustAddColumn(&Column{Name: "FK", Card: 2, Data: []int32{1, 0, 1}})
+	joined, err := Join(s, "FK", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kfds, err := KFKAsFDs([]ForeignKey{{Column: "FK", Refs: "R"}}, map[string]*Table{"R": r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds, err := HoldsFDSet(joined, kfds)
+	if err != nil || !holds {
+		t.Fatalf("HoldsFDSet: %v %v", holds, err)
+	}
+}
+
+func TestPublicJointAndMultiClass(t *testing.T) {
+	j, err := JointROR(5000, []int{50, 80}, []int{2, 2}, DefaultDelta)
+	if err != nil || j <= 0 {
+		t.Fatalf("JointROR: %v %v", j, err)
+	}
+	single, _ := ROR(5000, 50, 2, DefaultDelta)
+	if j < single {
+		t.Fatal("joint risk below individual")
+	}
+	mc, err := RORMultiClass(5000, 50, 2, 2, DefaultDelta)
+	if err != nil || math.Abs(mc-single) > 1e-12 {
+		t.Fatalf("RORMultiClass binary: %v vs %v (%v)", mc, single, err)
+	}
+}
+
+func TestPublicSkewDiagnostic(t *testing.T) {
+	d := exampleDataset(t)
+	sd, err := DiagnoseSkew(d, d.Attrs[0].FK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.HY <= 0 || len(sd.PerClass) != d.NumClasses() {
+		t.Fatalf("diagnostic = %+v", sd)
+	}
+	// Uniform mimic FKs: no malign skew at τ=... use a loose bound.
+	if sd.Malign(0.5) {
+		t.Fatal("uniform FK flagged malign at a tiny threshold")
+	}
+}
+
+func TestPublicBinning(t *testing.T) {
+	c, err := EqualWidthBins("x", []float64{0, 5, 10}, 2)
+	if err != nil || c.Data[0] != 0 || c.Data[2] != 1 {
+		t.Fatalf("EqualWidthBins: %v %v", c, err)
+	}
+	c, err = EqualFrequencyBins("x", []float64{3, 1, 2, 4}, 2)
+	if err != nil || c.Card != 2 {
+		t.Fatalf("EqualFrequencyBins: %v %v", c, err)
+	}
+}
+
+func TestPublicKFold(t *testing.T) {
+	cv, err := NewKFold(100, 5, 3)
+	if err != nil || cv.K() != 5 {
+		t.Fatalf("NewKFold: %v %v", cv, err)
+	}
+	train, val, err := cv.Fold(0)
+	if err != nil || len(train)+len(val) != 100 {
+		t.Fatalf("Fold: %d+%d (%v)", len(train), len(val), err)
+	}
+}
+
+func TestPublicColdStart(t *testing.T) {
+	d := exampleDataset(t)
+	attr := d.Attrs[0]
+	before := attr.Table.NumRows()
+	if err := AddOthersRecord(d, attr.FK); err != nil {
+		t.Fatal(err)
+	}
+	if OthersRID(d.Attrs[0].Table) != int32(before) {
+		t.Fatal("OthersRID wrong")
+	}
+	rids := []int32{0, int32(before), int32(before + 5)}
+	MapUnseenRIDs(rids, int32(before))
+	if rids[1] != int32(before) || rids[2] != int32(before) {
+		t.Fatal("MapUnseenRIDs wrong")
+	}
+}
+
+func TestPublicFCBF(t *testing.T) {
+	sel := FCBFSelector()
+	if sel.Name() != "fcbf" {
+		t.Fatal("FCBFSelector name")
+	}
+	y := []int32{0, 1, 0, 1}
+	if su := SymmetricUncertainty(y, 2, y, 2); math.Abs(su-1) > 1e-12 {
+		t.Fatalf("SU re-export: %v", su)
+	}
+	d := exampleDataset(t)
+	out, err := EvaluatePlan(d, d.JoinAllPlan(), sel, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Selected) == 0 {
+		t.Fatal("FCBF selected nothing on a dataset with planted signal")
+	}
+}
+
+func TestPublicJointJoinOptPlanViaAdvisor(t *testing.T) {
+	d := exampleDataset(t)
+	adv := NewAdvisor()
+	plan, decs, err := adv.JointJoinOptPlan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decs) != 2 {
+		t.Fatalf("decisions = %d", len(decs))
+	}
+	if _, err := d.Materialize(plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicFactorizedNB(t *testing.T) {
+	d := exampleDataset(t)
+	mod, err := FitNaiveBayesFactorized(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := d.Materialize(d.JoinAllPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := mod.Predict(design, 0)
+	if pred < 0 || int(pred) >= d.NumClasses() {
+		t.Fatalf("prediction out of range: %d", pred)
+	}
+}

@@ -1,0 +1,3 @@
+module hamlet
+
+go 1.22

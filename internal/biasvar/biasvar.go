@@ -1,0 +1,233 @@
+// Package biasvar implements the bias–variance decomposition of Domingos
+// (ICML 2000) that the paper uses to measure the effects of avoiding joins
+// (§4.1, Definitions 4.1–4.2, Eq. 1), together with the Monte Carlo harness
+// that drives it over simulation worlds.
+//
+// For each test point x, the harness trains one model per training set in a
+// collection S (|S| = L), collects the L predictions, and computes:
+//
+//   - the optimal prediction t(x) = argmax_y P(y|x) (the true conditional is
+//     known exactly in simulation);
+//   - the noise N(x) = P(Y ≠ t(x) | x);
+//   - the main prediction y_m = the mode of the L predictions;
+//   - the bias B(x) = 1[y_m ≠ t(x)];
+//   - the variance V(x) = (1/L) Σ_l 1[pred_l ≠ y_m];
+//   - the net variance (1 − 2B(x))·V(x), which captures variance helping on
+//     biased points and hurting on unbiased ones;
+//   - the expected test error E(x) = (1/L) Σ_l (1 − P(pred_l | x)), exact in
+//     the true distribution rather than estimated from sampled test labels.
+//
+// For binary targets these satisfy the exact identity
+// E = N + (1 − 2N)·(B + (1 − 2B)·V), which tests verify numerically; the
+// reported aggregate quantities (average test error, average bias, average
+// net variance) are the ones plotted in the paper's Figures 3, 10, 11, 13.
+package biasvar
+
+import (
+	"fmt"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/ml"
+	"hamlet/internal/stats"
+	"hamlet/internal/synth"
+)
+
+// Decomp aggregates the decomposition over a test set.
+type Decomp struct {
+	// TestError is the average expected zero-one test error.
+	TestError float64
+	// Bias is the average bias.
+	Bias float64
+	// NetVariance is the average net variance (1−2B)·V.
+	NetVariance float64
+	// Variance is the average raw variance V.
+	Variance float64
+	// Noise is the average noise.
+	Noise float64
+}
+
+// ModelClass names a feature subset under comparison (the paper's UseAll,
+// NoJoin, NoFK).
+type ModelClass struct {
+	// Name labels the class in reports.
+	Name string
+	// Features are design-matrix column indices.
+	Features []int
+}
+
+// StandardClasses returns the paper's three model classes for a world.
+func StandardClasses(w *synth.World) []ModelClass {
+	return []ModelClass{
+		{Name: "UseAll", Features: w.UseAllFeatures()},
+		{Name: "NoJoin", Features: w.NoJoinFeatures()},
+		{Name: "NoFK", Features: w.NoFKFeatures()},
+	}
+}
+
+// Config drives one Monte Carlo run.
+type Config struct {
+	// NTrain is the training-set size n_S.
+	NTrain int
+	// NTest is the test-set size; the paper uses n_S/4.
+	NTest int
+	// L is the number of training sets per world (the paper's |S| = 100).
+	L int
+	// Worlds is the number of independent world realizations (the paper's
+	// 100 seeds); results are averaged across worlds.
+	Worlds int
+	// Seed drives all randomness.
+	Seed uint64
+	// Learner trains the models; nil means Naive Bayes is supplied by the
+	// caller (Run requires it non-nil).
+	Learner ml.Learner
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NTrain <= 0 || c.NTest <= 0 {
+		return fmt.Errorf("biasvar: need positive train/test sizes, got %d/%d", c.NTrain, c.NTest)
+	}
+	if c.L < 2 {
+		return fmt.Errorf("biasvar: need at least 2 training sets per world, got %d", c.L)
+	}
+	if c.Worlds < 1 {
+		return fmt.Errorf("biasvar: need at least 1 world, got %d", c.Worlds)
+	}
+	if c.Learner == nil {
+		return fmt.Errorf("biasvar: nil learner")
+	}
+	return nil
+}
+
+// Run executes the Monte Carlo study for one simulation configuration and
+// returns one aggregate decomposition per model class, averaged over worlds.
+func Run(simCfg synth.SimConfig, cfg Config) (map[string]Decomp, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := simCfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	var classes []ModelClass
+	acc := make(map[string]*Decomp)
+	for wi := 0; wi < cfg.Worlds; wi++ {
+		world, err := synth.NewWorld(simCfg, rng.Uint64())
+		if err != nil {
+			return nil, err
+		}
+		if classes == nil {
+			classes = StandardClasses(world)
+			for _, mc := range classes {
+				acc[mc.Name] = &Decomp{}
+			}
+		}
+		perWorld, err := RunWorld(world, classes, cfg, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		for name, d := range perWorld {
+			a := acc[name]
+			a.TestError += d.TestError
+			a.Bias += d.Bias
+			a.NetVariance += d.NetVariance
+			a.Variance += d.Variance
+			a.Noise += d.Noise
+		}
+	}
+	out := make(map[string]Decomp, len(acc))
+	for name, a := range acc {
+		out[name] = Decomp{
+			TestError:   a.TestError / float64(cfg.Worlds),
+			Bias:        a.Bias / float64(cfg.Worlds),
+			NetVariance: a.NetVariance / float64(cfg.Worlds),
+			Variance:    a.Variance / float64(cfg.Worlds),
+			Noise:       a.Noise / float64(cfg.Worlds),
+		}
+	}
+	return out, nil
+}
+
+// RunWorld performs the decomposition within a single world: it samples one
+// test set and L training sets, trains each model class on every training
+// set, and aggregates the pointwise decomposition over the test set.
+func RunWorld(world *synth.World, classes []ModelClass, cfg Config, rng *stats.RNG) (map[string]Decomp, error) {
+	test := world.Sample(cfg.NTest, rng)
+	// preds[class][l] is the prediction vector of model l on the test set.
+	preds := make(map[string][][]int32, len(classes))
+	for _, mc := range classes {
+		preds[mc.Name] = make([][]int32, cfg.L)
+	}
+	for l := 0; l < cfg.L; l++ {
+		train := world.Sample(cfg.NTrain, rng)
+		for _, mc := range classes {
+			mod, err := cfg.Learner.Fit(train, mc.Features)
+			if err != nil {
+				return nil, fmt.Errorf("biasvar: class %s: %w", mc.Name, err)
+			}
+			preds[mc.Name][l] = ml.PredictAll(mod, test)
+		}
+	}
+	out := make(map[string]Decomp, len(classes))
+	for _, mc := range classes {
+		out[mc.Name] = decompose(world, test, preds[mc.Name])
+	}
+	return out, nil
+}
+
+// decompose computes the pointwise Domingos decomposition and averages it
+// over the test set.
+func decompose(world *synth.World, test *dataset.Design, preds [][]int32) Decomp {
+	n := test.NumRows()
+	l := len(preds)
+	var d Decomp
+	for i := 0; i < n; i++ {
+		p1 := world.TrueConditional(test, i)
+		// Optimal prediction and noise.
+		var t int32
+		noise := p1
+		if p1 >= 0.5 {
+			t, noise = 1, 1-p1
+		}
+		// Main prediction: mode of the L predictions (binary target).
+		ones := 0
+		for _, pl := range preds {
+			ones += int(pl[i])
+		}
+		var ym int32
+		if 2*ones > l {
+			ym = 1
+		}
+		bias := 0.0
+		if ym != t {
+			bias = 1
+		}
+		// Variance: disagreement with the main prediction.
+		disagree := ones
+		if ym == 1 {
+			disagree = l - ones
+		}
+		variance := float64(disagree) / float64(l)
+		// Expected test error of each model, exact in P(Y|x).
+		errSum := 0.0
+		for _, pl := range preds {
+			if pl[i] == 1 {
+				errSum += 1 - p1
+			} else {
+				errSum += p1
+			}
+		}
+		d.TestError += errSum / float64(l)
+		d.Bias += bias
+		d.Variance += variance
+		d.NetVariance += (1 - 2*bias) * variance
+		d.Noise += noise
+	}
+	fn := float64(n)
+	d.TestError /= fn
+	d.Bias /= fn
+	d.Variance /= fn
+	d.NetVariance /= fn
+	d.Noise /= fn
+	return d
+}

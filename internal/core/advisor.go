@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/stats"
+)
+
+// Rule selects which decision rule the advisor applies.
+type Rule int
+
+const (
+	// TRRule thresholds the tuple ratio; it needs only row counts and is
+	// the rule the paper recommends to analysts first.
+	TRRule Rule = iota
+	// RORRule thresholds the worst-case ROR; it additionally inspects the
+	// foreign features' domain sizes (but never the data values).
+	RORRule
+)
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	if r == RORRule {
+		return "ROR"
+	}
+	return "TR"
+}
+
+// Decision is the advisor's verdict for one attribute table.
+type Decision struct {
+	// FK names the foreign key, Attr the attribute table.
+	FK, Attr string
+	// Considered is false when the rule's preconditions fail (open-domain
+	// FK, or the malign-skew entropy guard tripped); the join is then
+	// always performed.
+	Considered bool
+	// Reason explains a Considered=false or keep verdict.
+	Reason string
+	// Avoid is the verdict: true means the join is predicted safe to
+	// avoid.
+	Avoid bool
+	// TR is the tuple ratio n_train/n_R.
+	TR float64
+	// ROR is the worst-case risk of representation.
+	ROR float64
+	// QRStar is min_F |D_F| over the attribute table's features.
+	QRStar int
+	// DFK is the foreign key's domain size (= n_R).
+	DFK int
+}
+
+// Advisor applies the join-avoidance rules to a normalized dataset.
+type Advisor struct {
+	// Rule selects TR or ROR; both use the same conservative guards.
+	Rule Rule
+	// Thresholds holds ρ and τ; zero value means DefaultThresholds.
+	Thresholds Thresholds
+	// Delta is Theorem 3.2's failure probability; zero means DefaultDelta.
+	Delta float64
+	// TrainFraction is the share of entity rows used for training under
+	// the holdout protocol; zero means the paper's 0.5. The rules use
+	// n_train = TrainFraction·n_S, matching the paper's reported tuple
+	// ratios (e.g. Flights' airport tables at TR ≈ 10.5).
+	TrainFraction float64
+	// DisableEntropyGuard turns off the Appendix D H(Y) skew guard;
+	// intended for ablations only.
+	DisableEntropyGuard bool
+}
+
+// NewAdvisor returns an advisor with the paper's defaults: TR rule, ρ = 2.5,
+// τ = 20, δ = 0.1, 50% training fraction, entropy guard on.
+func NewAdvisor() *Advisor { return &Advisor{} }
+
+func (a *Advisor) thresholds() Thresholds {
+	if a.Thresholds == (Thresholds{}) {
+		return DefaultThresholds
+	}
+	return a.Thresholds
+}
+
+func (a *Advisor) delta() float64 {
+	if a.Delta == 0 {
+		return DefaultDelta
+	}
+	return a.Delta
+}
+
+func (a *Advisor) trainFraction() float64 {
+	if a.TrainFraction == 0 {
+		return 0.5
+	}
+	return a.TrainFraction
+}
+
+// Decide evaluates every attribute table of the dataset and returns one
+// Decision per table, in declaration order.
+func (a *Advisor) Decide(d *dataset.Dataset) ([]Decision, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	nTrain := int(a.trainFraction() * float64(d.NumRows()))
+	if nTrain <= 0 {
+		return nil, fmt.Errorf("core: dataset %q leaves no training rows", d.Name)
+	}
+	th := a.thresholds()
+
+	// Appendix D guard: refuse all avoidance under malign target skew.
+	guardTripped := false
+	if !a.DisableEntropyGuard {
+		y := d.Entity.Column(d.Target)
+		hy := stats.Entropy(y.Data, y.Card)
+		guardTripped = hy < EntropyGuardBits
+	}
+
+	decisions := make([]Decision, 0, len(d.Attrs))
+	for _, at := range d.Attrs {
+		dec := Decision{FK: at.FK, Attr: at.Table.Name, DFK: at.Table.NumRows()}
+		qrs := math.MaxInt
+		for _, c := range at.Table.Columns() {
+			if c.Card < qrs {
+				qrs = c.Card
+			}
+		}
+		if at.Table.NumCols() == 0 {
+			qrs = 1
+		}
+		dec.QRStar = qrs
+		if tr, err := TupleRatio(nTrain, at.Table.NumRows()); err == nil {
+			dec.TR = tr
+		}
+		if ror, err := ROR(nTrain, dec.DFK, min(qrs, dec.DFK), a.delta()); err == nil {
+			dec.ROR = ror
+		}
+		switch {
+		case !at.ClosedDomain:
+			dec.Considered = false
+			dec.Reason = "foreign key domain is not closed; FK cannot represent the foreign features"
+		case guardTripped:
+			dec.Considered = false
+			dec.Reason = fmt.Sprintf("H(Y) below %.2g bits: conservative malign-skew guard (Appendix D)", EntropyGuardBits)
+		default:
+			dec.Considered = true
+			switch a.Rule {
+			case TRRule:
+				dec.Avoid = dec.TR >= th.Tau
+				if !dec.Avoid {
+					dec.Reason = fmt.Sprintf("TR %.2f < τ %.2f", dec.TR, th.Tau)
+				}
+			case RORRule:
+				dec.Avoid = dec.ROR <= th.Rho
+				if !dec.Avoid {
+					dec.Reason = fmt.Sprintf("ROR %.2f > ρ %.2f", dec.ROR, th.Rho)
+				}
+			default:
+				return nil, fmt.Errorf("core: unknown rule %d", a.Rule)
+			}
+		}
+		decisions = append(decisions, dec)
+	}
+	return decisions, nil
+}
+
+// JoinOptPlan returns the paper's JoinOpt plan: join exactly the attribute
+// tables the rules did not clear for avoidance, along with the per-table
+// decisions backing it.
+func (a *Advisor) JoinOptPlan(d *dataset.Dataset) (dataset.Plan, []Decision, error) {
+	decisions, err := a.Decide(d)
+	if err != nil {
+		return dataset.Plan{}, nil, err
+	}
+	var p dataset.Plan
+	for _, dec := range decisions {
+		if !(dec.Considered && dec.Avoid) {
+			p.JoinFKs = append(p.JoinFKs, dec.FK)
+		}
+	}
+	return p, decisions, nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJointRORReducesToSingleTable(t *testing.T) {
+	single, err := ROR(5000, 100, 2, DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := JointROR(5000, []int{100}, []int{2}, DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(single-joint) > 1e-12 {
+		t.Fatalf("single-table joint ROR %v != ROR %v", joint, single)
+	}
+}
+
+func TestJointRORExceedsMaxIndividual(t *testing.T) {
+	// The combined risk of avoiding two tables is at least each table's own.
+	a, _ := ROR(5000, 100, 2, DefaultDelta)
+	b, _ := ROR(5000, 150, 3, DefaultDelta)
+	joint, err := JointROR(5000, []int{100, 150}, []int{2, 3}, DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint < a || joint < b {
+		t.Fatalf("joint %v below individual %v / %v", joint, a, b)
+	}
+}
+
+func TestJointROREmptySet(t *testing.T) {
+	joint, err := JointROR(5000, nil, nil, DefaultDelta)
+	if err != nil || joint != 0 {
+		t.Fatalf("empty avoid set: %v %v", joint, err)
+	}
+}
+
+func TestJointRORValidation(t *testing.T) {
+	cases := []struct {
+		n      int
+		dFKs   []int
+		qs     []int
+		delta  float64
+		reason string
+	}{
+		{0, []int{10}, []int{2}, 0.1, "n"},
+		{100, []int{10}, []int{2, 3}, 0.1, "length mismatch"},
+		{100, []int{0}, []int{2}, 0.1, "zero domain"},
+		{100, []int{10}, []int{11}, 0.1, "q>d"},
+		{100, []int{10}, []int{2}, 0, "delta"},
+	}
+	for _, c := range cases {
+		if _, err := JointROR(c.n, c.dFKs, c.qs, c.delta); err == nil {
+			t.Errorf("%s accepted", c.reason)
+		}
+	}
+}
+
+func TestJointJoinOptPlanAtMostIndependent(t *testing.T) {
+	// Joint mode never avoids a table the independent rule kept, and may
+	// demote some.
+	d := fixture(4000, 40, 500, false)
+	adv := NewAdvisor()
+	adv.Rule = RORRule
+	indep, _, err := adv.JoinOptPlan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, decs, err := adv.JointJoinOptPlan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joined FKs under joint mode ⊇ joined FKs under independent mode.
+	indepSet := map[string]bool{}
+	for _, fk := range indep.JoinFKs {
+		indepSet[fk] = true
+	}
+	for _, fk := range indep.JoinFKs {
+		found := false
+		for _, jfk := range joint.JoinFKs {
+			if jfk == fk {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("joint mode avoided %s which independent mode kept", fk)
+		}
+	}
+	if len(decs) != 2 {
+		t.Fatal("missing decisions")
+	}
+}
+
+func TestJointJoinOptPlanDemotesWhenCombinedRiskHigh(t *testing.T) {
+	// Two tables individually under ρ but jointly over it: with n_train =
+	// 14000 and two 400-row tables (q_R* = 3), each individual ROR ≈ 2.41
+	// ≤ ρ = 2.5 while the joint bound over both ≈ 3.16 > ρ.
+	d := fixture(28000, 400, 400, false)
+	adv := NewAdvisor()
+	adv.Rule = RORRule
+	indep, err := adv.Decide(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indep[0].Avoid || !indep[1].Avoid {
+		t.Fatalf("fixture not individually cleared: %+v", indep)
+	}
+	_, decs, err := adv.JointJoinOptPlan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demoted := 0
+	for _, dec := range decs {
+		if !dec.Avoid {
+			demoted++
+			if !strings.Contains(dec.Reason, "joint") {
+				t.Fatalf("demotion reason = %q", dec.Reason)
+			}
+		}
+	}
+	if demoted == 0 {
+		t.Fatal("expected the joint bound to demote at least one table")
+	}
+	if demoted == 2 {
+		t.Fatal("joint bound should keep at least the lowest-risk table")
+	}
+}
+
+func TestRORMultiClass(t *testing.T) {
+	binary, err := RORMultiClass(5000, 100, 2, 2, DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := ROR(5000, 100, 2, DefaultDelta)
+	if math.Abs(binary-plain) > 1e-12 {
+		t.Fatalf("C=2 should reduce to ROR: %v vs %v", binary, plain)
+	}
+	five, err := RORMultiClass(5000, 100, 2, 5, DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if five <= binary {
+		t.Fatalf("multi-class risk should grow with C: %v vs %v", five, binary)
+	}
+	if _, err := RORMultiClass(5000, 100, 2, 1, DefaultDelta); err == nil {
+		t.Fatal("C=1 accepted")
+	}
+}

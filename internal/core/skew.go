@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/stats"
+)
+
+// Appendix D observes that foreign-key skew per se is harmless ("benign");
+// what hurts is "malign" skew, where a rare target class is diffused across
+// many rare FK values, leaving too few examples per (class, FK value) pair
+// for the FK to represent the foreign features. The paper's shipped guard
+// is the blunt H(Y) < 0.5-bit check (EntropyGuardBits); it also notes the
+// finer H(FK|Y) diagnostic. This file implements that finer diagnostic.
+//
+// For each class y, 2^H(FK|Y=y) is the effective number of distinct FK
+// values carrying class y, so n_y / 2^H(FK|Y=y) is the class-conditional
+// analogue of the tuple ratio: the effective number of training examples
+// per FK value *within the class*. Malign skew is exactly the situation
+// where this ratio collapses for a rare class even though the overall TR
+// looks healthy.
+
+// ClassSkew is the skew diagnostic for one target class.
+type ClassSkew struct {
+	// Class is the class label.
+	Class int32
+	// Count is the number of entity rows with this label.
+	Count int
+	// CondEntropy is H(FK | Y=class) in bits.
+	CondEntropy float64
+	// EffectiveTR is Count / 2^CondEntropy: the effective examples per FK
+	// value within the class.
+	EffectiveTR float64
+}
+
+// SkewDiagnostic is the per-FK skew report.
+type SkewDiagnostic struct {
+	// FK names the diagnosed foreign key.
+	FK string
+	// HY is the target entropy in bits.
+	HY float64
+	// HFK is the FK's marginal entropy in bits.
+	HFK float64
+	// PerClass holds one entry per target class.
+	PerClass []ClassSkew
+	// MinEffectiveTR is the smallest per-class effective tuple ratio.
+	MinEffectiveTR float64
+}
+
+// Malign reports whether the diagnostic indicates malign skew at the given
+// threshold: some class has fewer than tau effective examples per FK value.
+// Passing the TR rule's τ keeps the two rules on the same scale.
+func (sd SkewDiagnostic) Malign(tau float64) bool {
+	return sd.MinEffectiveTR < tau
+}
+
+// DiagnoseSkew computes the skew diagnostic of one closed-domain FK over
+// the full entity table.
+func DiagnoseSkew(d *dataset.Dataset, fkName string) (SkewDiagnostic, error) {
+	if err := d.Validate(); err != nil {
+		return SkewDiagnostic{}, err
+	}
+	fk := d.Entity.Column(fkName)
+	if fk == nil {
+		return SkewDiagnostic{}, fmt.Errorf("core: no FK column %q in dataset %q", fkName, d.Name)
+	}
+	y := d.Entity.Column(d.Target)
+	out := SkewDiagnostic{
+		FK:  fkName,
+		HY:  stats.Entropy(y.Data, y.Card),
+		HFK: stats.Entropy(fk.Data, fk.Card),
+	}
+	out.MinEffectiveTR = math.Inf(1)
+	for c := int32(0); int(c) < y.Card; c++ {
+		var sub []int32
+		for i, yv := range y.Data {
+			if yv == c {
+				sub = append(sub, fk.Data[i])
+			}
+		}
+		cs := ClassSkew{Class: c, Count: len(sub)}
+		if len(sub) > 0 {
+			cs.CondEntropy = stats.Entropy(sub, fk.Card)
+			cs.EffectiveTR = float64(len(sub)) / math.Exp2(cs.CondEntropy)
+		}
+		if cs.Count > 0 && cs.EffectiveTR < out.MinEffectiveTR {
+			out.MinEffectiveTR = cs.EffectiveTR
+		}
+		out.PerClass = append(out.PerClass, cs)
+	}
+	if math.IsInf(out.MinEffectiveTR, 1) {
+		out.MinEffectiveTR = 0
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/relational"
+	"hamlet/internal/stats"
+)
+
+// skewDataset builds a binary-target dataset whose FK distribution is
+// either benign (rare class concentrated on few FK values) or malign (rare
+// class diffused over many rare FK values).
+func skewDataset(nS, nR int, malign bool) *dataset.Dataset {
+	r := stats.NewRNG(3)
+	attr := relational.NewTable("R")
+	f := make([]int32, nR)
+	for i := range f {
+		f[i] = int32(r.IntN(2))
+	}
+	attr.MustAddColumn(&relational.Column{Name: "F", Card: 2, Data: f})
+	y := make([]int32, nS)
+	fk := make([]int32, nS)
+	for i := 0; i < nS; i++ {
+		rare := r.Bernoulli(0.1)
+		if rare {
+			y[i] = 1
+			if malign {
+				// Rare class spread uniformly over all but one FK value.
+				fk[i] = 1 + int32(r.IntN(nR-1))
+			} else {
+				// Rare class concentrated on a single FK value.
+				fk[i] = 0
+			}
+		} else {
+			y[i] = 0
+			if malign {
+				fk[i] = 0
+			} else {
+				fk[i] = 1 + int32(r.IntN(nR-1))
+			}
+		}
+	}
+	s := relational.NewTable("S")
+	s.MustAddColumn(&relational.Column{Name: "Y", Card: 2, Data: y})
+	s.MustAddColumn(&relational.Column{Name: "FK", Card: nR, Data: fk})
+	return &dataset.Dataset{
+		Name:   "Skew",
+		Entity: s,
+		Target: "Y",
+		Attrs:  []dataset.AttributeTable{{Table: attr, FK: "FK", ClosedDomain: true}},
+	}
+}
+
+func TestDiagnoseSkewMalignVsBenign(t *testing.T) {
+	benign, err := DiagnoseSkew(skewDataset(20000, 200, false), "FK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	malign, err := DiagnoseSkew(skewDataset(20000, 200, true), "FK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the benign dataset the rare class sits on one FK value: its
+	// conditional entropy is ≈0 and its effective TR is huge. In the
+	// malign dataset the rare class diffuses over ~199 values: its
+	// effective TR collapses.
+	if benign.MinEffectiveTR < DefaultThresholds.Tau {
+		t.Fatalf("benign min effective TR = %v, expected large", benign.MinEffectiveTR)
+	}
+	if malign.MinEffectiveTR >= DefaultThresholds.Tau {
+		t.Fatalf("malign min effective TR = %v, expected collapse", malign.MinEffectiveTR)
+	}
+	if benign.Malign(DefaultThresholds.Tau) {
+		t.Fatal("benign dataset flagged malign")
+	}
+	if !malign.Malign(DefaultThresholds.Tau) {
+		t.Fatal("malign dataset not flagged")
+	}
+}
+
+func TestDiagnoseSkewFields(t *testing.T) {
+	sd, err := DiagnoseSkew(skewDataset(1000, 50, true), "FK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.FK != "FK" || len(sd.PerClass) != 2 {
+		t.Fatalf("diagnostic shape: %+v", sd)
+	}
+	if sd.HY <= 0 || sd.HFK <= 0 {
+		t.Fatal("entropies should be positive")
+	}
+	total := 0
+	for _, cs := range sd.PerClass {
+		total += cs.Count
+		if cs.Count > 0 && cs.EffectiveTR <= 0 {
+			t.Fatalf("class %d effective TR = %v", cs.Class, cs.EffectiveTR)
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("class counts sum to %d", total)
+	}
+}
+
+func TestDiagnoseSkewErrors(t *testing.T) {
+	d := skewDataset(100, 10, false)
+	if _, err := DiagnoseSkew(d, "Nope"); err == nil {
+		t.Fatal("unknown FK accepted")
+	}
+	d.Target = "Nope"
+	if _, err := DiagnoseSkew(d, "FK"); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}
+
+func TestDiagnoseSkewOnNeedleAndThread(t *testing.T) {
+	// The paper's malign construction: needle FK value carries one class,
+	// the thread spreads the other class over n_R−1 values. The *thread*
+	// class is the diffused one here; with both classes ~50/50 the H(Y)
+	// guard would NOT trip, but the fine-grained diagnostic must.
+	r := stats.NewRNG(9)
+	nS, nR := 2000, 200
+	attr := relational.NewTable("R")
+	f := make([]int32, nR)
+	f[0] = 0
+	for i := 1; i < nR; i++ {
+		f[i] = 1
+	}
+	attr.MustAddColumn(&relational.Column{Name: "F", Card: 2, Data: f})
+	y := make([]int32, nS)
+	fk := make([]int32, nS)
+	for i := 0; i < nS; i++ {
+		if r.Bernoulli(0.5) {
+			y[i], fk[i] = 0, 0
+		} else {
+			y[i] = 1
+			fk[i] = 1 + int32(r.IntN(nR-1))
+		}
+	}
+	s := relational.NewTable("S")
+	s.MustAddColumn(&relational.Column{Name: "Y", Card: 2, Data: y})
+	s.MustAddColumn(&relational.Column{Name: "FK", Card: nR, Data: fk})
+	d := &dataset.Dataset{Name: "NT", Entity: s, Target: "Y",
+		Attrs: []dataset.AttributeTable{{Table: attr, FK: "FK", ClosedDomain: true}}}
+	sd, err := DiagnoseSkew(d, "FK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H(Y) ≈ 1 bit: the blunt guard does not trip.
+	if sd.HY < EntropyGuardBits {
+		t.Fatalf("H(Y) = %v should be above the blunt guard", sd.HY)
+	}
+	// But the thread class has ~1000 examples over ~199 effective values:
+	// effective TR ≈ 5 < τ = 20 → malign.
+	if !sd.Malign(DefaultThresholds.Tau) {
+		t.Fatalf("needle-and-thread not flagged: min effective TR = %v", sd.MinEffectiveTR)
+	}
+	if math.Abs(sd.PerClass[1].EffectiveTR-5) > 2 {
+		t.Fatalf("thread effective TR = %v, want ≈5", sd.PerClass[1].EffectiveTR)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScatterPoint is one simulation outcome used to tune rule thresholds
+// (Figure 4): the rule statistics of a configuration together with the
+// measured increase in test error caused by avoiding the join there.
+type ScatterPoint struct {
+	// ROR is the worst-case risk of representation of the configuration.
+	ROR float64
+	// TR is its tuple ratio.
+	TR float64
+	// DeltaError is the measured test-error increase of NoJoin over
+	// UseAll (asymmetric: negative values mean avoiding helped).
+	DeltaError float64
+}
+
+// TuneThresholds derives rule thresholds from simulation scatter the way the
+// paper does by inspection of Figure 4: ρ is the largest observed ROR such
+// that every configuration with ROR ≤ ρ stays within the error tolerance,
+// and τ is the smallest observed TR such that every configuration with
+// TR ≥ τ stays within it. This encodes the conservatism principle — the
+// thresholds admit no observed violation at all.
+func TuneThresholds(points []ScatterPoint, tolerance float64) (Thresholds, error) {
+	if len(points) == 0 {
+		return Thresholds{}, fmt.Errorf("core: no scatter points to tune on")
+	}
+	if tolerance <= 0 {
+		return Thresholds{}, fmt.Errorf("core: tolerance must be positive, got %v", tolerance)
+	}
+	// ρ: sort by ROR ascending; walk up while all points so far are safe.
+	byROR := append([]ScatterPoint(nil), points...)
+	sort.Slice(byROR, func(i, j int) bool { return byROR[i].ROR < byROR[j].ROR })
+	rho := 0.0
+	ok := false
+	for _, p := range byROR {
+		if p.DeltaError > tolerance {
+			break
+		}
+		rho, ok = p.ROR, true
+	}
+	if !ok {
+		return Thresholds{}, fmt.Errorf("core: no safe region exists for tolerance %v under the ROR rule", tolerance)
+	}
+	// τ: sort by TR descending; walk down while all points so far are safe.
+	byTR := append([]ScatterPoint(nil), points...)
+	sort.Slice(byTR, func(i, j int) bool { return byTR[i].TR > byTR[j].TR })
+	tau := 0.0
+	ok = false
+	for _, p := range byTR {
+		if p.DeltaError > tolerance {
+			break
+		}
+		tau, ok = p.TR, true
+	}
+	if !ok {
+		return Thresholds{}, fmt.Errorf("core: no safe region exists for tolerance %v under the TR rule", tolerance)
+	}
+	return Thresholds{Rho: rho, Tau: tau, Tolerance: tolerance}, nil
+}

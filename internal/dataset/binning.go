@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hamlet/internal/relational"
+)
+
+// The paper assumes all features are nominal; numeric features "are assumed
+// to have been discretized to a finite set of categories, say, using
+// binning" (§2.1 footnote 1), and its evaluation uses "a standard
+// unsupervised binning technique (equal-length histograms)" (§5). This file
+// provides that preprocessing step for users bringing numeric columns.
+
+// EqualWidthBins discretizes a numeric series into the given number of
+// equal-width bins over [min, max], returning a nominal column. Non-finite
+// values are rejected; a constant series maps everything to bin 0.
+func EqualWidthBins(name string, values []float64, bins int) (*relational.Column, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("dataset: need at least one bin, got %d", bins)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("dataset: binning an empty series")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("dataset: non-finite value at row %d", i)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	data := make([]int32, len(values))
+	if lo == hi {
+		return &relational.Column{Name: name, Card: bins, Data: data}, nil
+	}
+	width := (hi - lo) / float64(bins)
+	for i, v := range values {
+		b := int((v - lo) / width)
+		if b >= bins { // v == hi lands exactly on the upper edge
+			b = bins - 1
+		}
+		data[i] = int32(b)
+	}
+	return &relational.Column{Name: name, Card: bins, Data: data}, nil
+}
+
+// EqualFrequencyBins discretizes a numeric series into (approximately)
+// equal-count bins by rank — the quantile alternative to equal-width
+// histograms, useful for heavy-tailed features. Equal values always land in
+// the same bin (that of their earliest rank).
+func EqualFrequencyBins(name string, values []float64, bins int) (*relational.Column, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("dataset: need at least one bin, got %d", bins)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("dataset: binning an empty series")
+	}
+	order := make([]int, len(values))
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("dataset: non-finite value at row %d", i)
+		}
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return values[order[a]] < values[order[b]] })
+	data := make([]int32, len(values))
+	n := len(values)
+	prevV := math.NaN()
+	prevBin := int32(0)
+	for rank, idx := range order {
+		b := int32(rank * bins / n)
+		if values[idx] == prevV {
+			b = prevBin
+		}
+		data[idx] = b
+		prevV, prevBin = values[idx], b
+	}
+	return &relational.Column{Name: name, Card: bins, Data: data}, nil
+}

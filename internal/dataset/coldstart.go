@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"fmt"
+
+	"hamlet/internal/relational"
+)
+
+// Cold start (§2.1): closed FK domains are revised periodically; between
+// revisions, entities referencing attribute-table rows that did not exist at
+// training time (new employers, new movies) are routed to a reserved
+// "Others" record. This file implements that standard practice so deployed
+// models survive unseen RIDs: the attribute table gains one placeholder row
+// whose features take a reserved "unknown" category, the FK domain grows by
+// one, and incoming data maps unseen RIDs to it.
+
+// OthersRID returns the RID of the reserved Others record for an attribute
+// table prepared with AddOthersRecord: always the last row.
+func OthersRID(attr *relational.Table) int32 {
+	return int32(attr.NumRows() - 1)
+}
+
+// AddOthersRecord rewrites the dataset in place so the attribute table
+// referenced by fkName carries a reserved Others record: every feature
+// column of the table gains one category ("unknown", the new last code) and
+// one row holding it, and the FK column's domain grows by one. Existing
+// rows and codes are unchanged, so models trained before and after agree on
+// all previously seen values. It is an error to call it twice for the same
+// FK (detectable only by the caller; the table grows each time).
+func AddOthersRecord(d *Dataset, fkName string) error {
+	at := d.AttrByFK(fkName)
+	if at == nil {
+		return fmt.Errorf("dataset %q: no attribute table for FK %q", d.Name, fkName)
+	}
+	fk := d.Entity.Column(fkName)
+	if fk == nil {
+		return fmt.Errorf("dataset %q: FK column %q missing", d.Name, fkName)
+	}
+	// Rebuild the attribute table with card+1 columns and the Others row.
+	rebuilt := relational.NewTable(at.Table.Name)
+	for _, c := range at.Table.Columns() {
+		data := make([]int32, c.Len()+1)
+		copy(data, c.Data)
+		data[c.Len()] = int32(c.Card) // the new "unknown" category
+		if err := rebuilt.AddColumn(&relational.Column{Name: c.Name, Card: c.Card + 1, Data: data}); err != nil {
+			return err
+		}
+	}
+	at.Table = rebuilt
+	fk.Card++
+	return nil
+}
+
+// MapUnseenRIDs replaces every code in rids that falls outside the
+// attribute table's pre-Others domain [0, othersRID) with othersRID. Use it
+// on incoming (serving-time) foreign keys before prediction.
+func MapUnseenRIDs(rids []int32, othersRID int32) {
+	for i, v := range rids {
+		if v < 0 || v >= othersRID {
+			rids[i] = othersRID
+		}
+	}
+}

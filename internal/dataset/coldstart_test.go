@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestAddOthersRecord(t *testing.T) {
+	d := churn()
+	attr := d.Attrs[0].Table
+	origRows := attr.NumRows()
+	origCards := make([]int, attr.NumCols())
+	for i, c := range attr.Columns() {
+		origCards[i] = c.Card
+	}
+	if err := AddOthersRecord(d, "EmployerID"); err != nil {
+		t.Fatal(err)
+	}
+	attr = d.Attrs[0].Table
+	if attr.NumRows() != origRows+1 {
+		t.Fatalf("rows = %d, want %d", attr.NumRows(), origRows+1)
+	}
+	for i, c := range attr.Columns() {
+		if c.Card != origCards[i]+1 {
+			t.Fatalf("column %s card = %d, want %d", c.Name, c.Card, origCards[i]+1)
+		}
+		// The Others row holds the reserved unknown category.
+		if c.Data[origRows] != int32(origCards[i]) {
+			t.Fatalf("Others row of %s = %d, want %d", c.Name, c.Data[origRows], origCards[i])
+		}
+		// Existing rows untouched.
+		for r := 0; r < origRows; r++ {
+			if int(c.Data[r]) >= origCards[i] {
+				t.Fatalf("existing row %d of %s changed", r, c.Name)
+			}
+		}
+	}
+	// The FK domain grew and the dataset still validates.
+	if d.Entity.Column("EmployerID").Card != origRows+1 {
+		t.Fatalf("FK card = %d", d.Entity.Column("EmployerID").Card)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if OthersRID(attr) != int32(origRows) {
+		t.Fatalf("OthersRID = %d", OthersRID(attr))
+	}
+}
+
+func TestAddOthersRecordJoinStillWorks(t *testing.T) {
+	d := churn()
+	if err := AddOthersRecord(d, "EmployerID"); err != nil {
+		t.Fatal(err)
+	}
+	// Route one entity row to the Others record and materialize.
+	others := OthersRID(d.Attrs[0].Table)
+	d.Entity.Column("EmployerID").Data[0] = others
+	m, err := d.Materialize(d.JoinAllPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := m.FeatureIndex("Country")
+	if m.Features[ci].Data[0] != int32(m.Features[ci].Card-1) {
+		t.Fatal("Others row should gather the reserved unknown category")
+	}
+}
+
+func TestAddOthersRecordErrors(t *testing.T) {
+	d := churn()
+	if err := AddOthersRecord(d, "Nope"); err == nil {
+		t.Fatal("unknown FK accepted")
+	}
+}
+
+func TestMapUnseenRIDs(t *testing.T) {
+	rids := []int32{0, 3, 4, 99, -1, 2}
+	MapUnseenRIDs(rids, 4)
+	want := []int32{0, 3, 4, 4, 4, 2}
+	for i := range want {
+		if rids[i] != want[i] {
+			t.Fatalf("rids = %v, want %v", rids, want)
+		}
+	}
+}

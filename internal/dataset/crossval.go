@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"fmt"
+
+	"hamlet/internal/stats"
+)
+
+// KFold is k-fold cross-validation, the alternative to holdout validation
+// the paper mentions in §2.2 for wrapper search. The n rows are shuffled and
+// partitioned into k folds; fold i serves as the validation set of round i
+// while the remaining folds train.
+type KFold struct {
+	folds [][]int
+}
+
+// NewKFold shuffles [0, n) and cuts it into k folds of near-equal size
+// (the first n mod k folds get one extra row).
+func NewKFold(n, k int, rng *stats.RNG) (*KFold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("dataset: k-fold needs k ≥ 2, got %d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("dataset: %d rows cannot fill %d folds", n, k)
+	}
+	perm := rng.Perm(n)
+	cv := &KFold{folds: make([][]int, k)}
+	base := n / k
+	extra := n % k
+	at := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		cv.folds[i] = perm[at : at+size]
+		at += size
+	}
+	return cv, nil
+}
+
+// K returns the number of folds.
+func (cv *KFold) K() int { return len(cv.folds) }
+
+// Fold returns round i's training and validation row-index sets. The
+// returned training slice is freshly allocated; the validation slice aliases
+// the fold.
+func (cv *KFold) Fold(i int) (train, val []int, err error) {
+	if i < 0 || i >= len(cv.folds) {
+		return nil, nil, fmt.Errorf("dataset: fold %d out of range [0,%d)", i, len(cv.folds))
+	}
+	val = cv.folds[i]
+	train = make([]int, 0, capSum(cv.folds)-len(val))
+	for j, f := range cv.folds {
+		if j != i {
+			train = append(train, f...)
+		}
+	}
+	return train, val, nil
+}
+
+func capSum(folds [][]int) int {
+	n := 0
+	for _, f := range folds {
+		n += len(f)
+	}
+	return n
+}
+
+// CrossValidate computes the k-fold cross-validation error of a scoring
+// callback: score(train, val) must return the validation error of a model
+// trained on the train rows of m. The result is the average over folds.
+func (cv *KFold) CrossValidate(m *Design, score func(train, val *Design) (float64, error)) (float64, error) {
+	total := 0.0
+	for i := 0; i < cv.K(); i++ {
+		trIdx, vaIdx, err := cv.Fold(i)
+		if err != nil {
+			return 0, err
+		}
+		e, err := score(m.SelectRows(trIdx), m.SelectRows(vaIdx))
+		if err != nil {
+			return 0, fmt.Errorf("dataset: fold %d: %w", i, err)
+		}
+		total += e
+	}
+	return total / float64(cv.K()), nil
+}

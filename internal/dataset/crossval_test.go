@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hamlet/internal/stats"
+)
+
+func TestKFoldPartition(t *testing.T) {
+	cv, err := NewKFold(103, 5, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.K() != 5 {
+		t.Fatalf("K = %d", cv.K())
+	}
+	seen := make([]bool, 103)
+	sizes := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		_, val, err := cv.Fold(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[i] = len(val)
+		for _, r := range val {
+			if seen[r] {
+				t.Fatalf("row %d in two folds", r)
+			}
+			seen[r] = true
+		}
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Fatalf("row %d missing", r)
+		}
+	}
+	// 103 = 3 folds of 21 + 2 of 20.
+	if sizes[0] != 21 || sizes[1] != 21 || sizes[2] != 21 || sizes[3] != 20 || sizes[4] != 20 {
+		t.Fatalf("fold sizes = %v", sizes)
+	}
+}
+
+func TestKFoldTrainValDisjoint(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 20 + rng.IntN(200)
+		k := 2 + rng.IntN(5)
+		cv, err := NewKFold(n, k, rng)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			train, val, err := cv.Fold(i)
+			if err != nil {
+				return false
+			}
+			if len(train)+len(val) != n {
+				return false
+			}
+			inVal := make(map[int]bool, len(val))
+			for _, r := range val {
+				inVal[r] = true
+			}
+			for _, r := range train {
+				if inVal[r] {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	rng := stats.NewRNG(2)
+	if _, err := NewKFold(10, 1, rng); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := NewKFold(3, 5, rng); err == nil {
+		t.Fatal("n<k accepted")
+	}
+	cv, _ := NewKFold(10, 2, rng)
+	if _, _, err := cv.Fold(-1); err == nil {
+		t.Fatal("negative fold accepted")
+	}
+	if _, _, err := cv.Fold(2); err == nil {
+		t.Fatal("out-of-range fold accepted")
+	}
+}
+
+func TestCrossValidateAverages(t *testing.T) {
+	d := churn()
+	m, _ := d.Materialize(d.JoinAllPlan())
+	cv, err := NewKFold(m.NumRows(), 4, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	got, err := cv.CrossValidate(m, func(train, val *Design) (float64, error) {
+		calls++
+		return float64(calls), nil // 1, 2, 3, 4 → mean 2.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("cv error = %v after %d calls", got, calls)
+	}
+}
+
+func TestCrossValidatePropagatesErrors(t *testing.T) {
+	d := churn()
+	m, _ := d.Materialize(d.JoinAllPlan())
+	cv, _ := NewKFold(m.NumRows(), 2, stats.NewRNG(4))
+	_, err := cv.CrossValidate(m, func(train, val *Design) (float64, error) {
+		return 0, errSentinel
+	})
+	if err == nil {
+		t.Fatal("callback error swallowed")
+	}
+}
+
+var errSentinel = &sentinelError{}
+
+type sentinelError struct{}
+
+func (*sentinelError) Error() string { return "sentinel" }

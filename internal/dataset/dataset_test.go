@@ -1,0 +1,315 @@
+package dataset
+
+import (
+	"testing"
+
+	"hamlet/internal/relational"
+	"hamlet/internal/stats"
+)
+
+// churn builds the paper's running example dataset:
+// Customers(Churn, Age, Gender, EmployerID) ⋈ Employers(Country, Revenue).
+func churn() *Dataset {
+	employers := relational.NewTable("Employers")
+	employers.MustAddColumn(&relational.Column{Name: "Country", Card: 3, Data: []int32{0, 1, 2, 0}})
+	employers.MustAddColumn(&relational.Column{Name: "Revenue", Card: 2, Data: []int32{1, 0, 1, 1}})
+	customers := relational.NewTable("Customers")
+	customers.MustAddColumn(&relational.Column{Name: "Churn", Card: 2, Data: []int32{0, 1, 1, 0, 1, 0, 1, 0}})
+	customers.MustAddColumn(&relational.Column{Name: "Age", Card: 4, Data: []int32{0, 1, 2, 3, 1, 2, 0, 3}})
+	customers.MustAddColumn(&relational.Column{Name: "Gender", Card: 2, Data: []int32{0, 1, 0, 1, 0, 1, 0, 1}})
+	customers.MustAddColumn(&relational.Column{Name: "EmployerID", Card: 4, Data: []int32{0, 1, 2, 3, 1, 0, 2, 3}})
+	return &Dataset{
+		Name:         "Churn",
+		Entity:       customers,
+		Target:       "Churn",
+		HomeFeatures: []string{"Age", "Gender"},
+		Attrs: []AttributeTable{
+			{Table: employers, FK: "EmployerID", ClosedDomain: true},
+		},
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	if err := churn().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Dataset)
+	}{
+		{"nil entity", func(d *Dataset) { d.Entity = nil }},
+		{"missing target", func(d *Dataset) { d.Target = "Nope" }},
+		{"missing home feature", func(d *Dataset) { d.HomeFeatures = []string{"Nope"} }},
+		{"target as feature", func(d *Dataset) { d.HomeFeatures = []string{"Churn"} }},
+		{"missing FK", func(d *Dataset) { d.Attrs[0].FK = "Nope" }},
+		{"nil attribute table", func(d *Dataset) { d.Attrs[0].Table = nil }},
+		{"dangling FK", func(d *Dataset) { d.Entity.Column("EmployerID").Data[0] = 9 }},
+	}
+	for _, tc := range cases {
+		d := churn()
+		tc.mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken dataset", tc.name)
+		}
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	d := churn()
+	if d.NumClasses() != 2 {
+		t.Fatalf("classes = %d", d.NumClasses())
+	}
+	if d.NumRows() != 8 {
+		t.Fatalf("rows = %d", d.NumRows())
+	}
+	if d.AttrByFK("EmployerID") == nil || d.AttrByFK("Nope") != nil {
+		t.Fatal("AttrByFK broken")
+	}
+}
+
+func TestJoinAllPlanMaterialize(t *testing.T) {
+	d := churn()
+	m, err := d.Materialize(d.JoinAllPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Age, Gender, EmployerID(FK), Country, Revenue.
+	want := []string{"Age", "Gender", "EmployerID", "Country", "Revenue"}
+	got := m.FeatureNames()
+	if len(got) != len(want) {
+		t.Fatalf("features = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("feature[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Row 4: EmployerID 1 → Country 1, Revenue 0.
+	if m.Features[3].Data[4] != 1 || m.Features[4].Data[4] != 0 {
+		t.Fatal("foreign features gathered incorrectly")
+	}
+	if !m.Features[2].IsFK || m.Features[2].Source != "S" || m.Features[3].Source != "Employers" {
+		t.Fatal("provenance wrong")
+	}
+	if m.NumClasses != 2 || m.NumRows() != 8 {
+		t.Fatal("design shape wrong")
+	}
+}
+
+func TestNoJoinsPlan(t *testing.T) {
+	d := churn()
+	m, err := d.Materialize(d.NoJoinsPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.FeatureNames()
+	want := []string{"Age", "Gender", "EmployerID"}
+	if len(got) != len(want) {
+		t.Fatalf("NoJoins features = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("feature[%d] = %q", i, got[i])
+		}
+	}
+}
+
+func TestJoinAllNoFKPlan(t *testing.T) {
+	d := churn()
+	m, err := d.Materialize(d.JoinAllNoFKPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Features {
+		if f.IsFK {
+			t.Fatal("JoinAllNoFK must drop FK features")
+		}
+	}
+	if m.FeatureIndex("Country") < 0 || m.FeatureIndex("Revenue") < 0 {
+		t.Fatal("JoinAllNoFK must still join foreign features")
+	}
+}
+
+func TestOpenDomainFKAlwaysJoinedNeverFeature(t *testing.T) {
+	d := churn()
+	d.Attrs[0].ClosedDomain = false
+	// NoJoins must still join the open-domain table.
+	m, err := d.Materialize(d.NoJoinsPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FeatureIndex("Country") < 0 {
+		t.Fatal("open-domain attribute table must be joined under NoJoins")
+	}
+	if m.FeatureIndex("EmployerID") >= 0 {
+		t.Fatal("open-domain FK must never be a feature")
+	}
+}
+
+func TestMaterializeUnknownFKs(t *testing.T) {
+	d := churn()
+	if _, err := d.Materialize(Plan{JoinFKs: []string{"Nope"}}); err == nil {
+		t.Fatal("unknown join FK accepted")
+	}
+	if _, err := d.Materialize(Plan{DropFKs: []string{"Nope"}}); err == nil {
+		t.Fatal("unknown drop FK accepted")
+	}
+}
+
+func TestMaterializeMatchesMaterializeVia(t *testing.T) {
+	d := churn()
+	for _, p := range []Plan{d.JoinAllPlan(), d.NoJoinsPlan(), d.JoinAllNoFKPlan()} {
+		a, err := d.Materialize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.MaterializeVia(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Features) != len(b.Features) {
+			t.Fatalf("feature counts differ: %v vs %v", a.FeatureNames(), b.FeatureNames())
+		}
+		for i := range a.Features {
+			fa, fb := a.Features[i], b.Features[i]
+			if fa.Name != fb.Name || fa.Card != fb.Card {
+				t.Fatalf("feature %d schema differs: %+v vs %+v", i, fa, fb)
+			}
+			for r := range fa.Data {
+				if fa.Data[r] != fb.Data[r] {
+					t.Fatalf("feature %q row %d differs", fa.Name, r)
+				}
+			}
+		}
+	}
+}
+
+func TestDesignSubsetAndSelectRows(t *testing.T) {
+	d := churn()
+	m, _ := d.Materialize(d.JoinAllPlan())
+	sub := m.Subset([]int{0, 2})
+	if sub.NumFeatures() != 2 || sub.Features[1].Name != "EmployerID" {
+		t.Fatalf("subset features = %v", sub.FeatureNames())
+	}
+	rows := m.SelectRows([]int{1, 3})
+	if rows.NumRows() != 2 || rows.Y[0] != 1 || rows.Y[1] != 0 {
+		t.Fatal("SelectRows labels wrong")
+	}
+	rows.Features[0].Data[0] = 3
+	if m.Features[0].Data[1] == 3 && m.Features[0].Data[1] != 1 {
+		t.Fatal("SelectRows must copy feature data")
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	rng := stats.NewRNG(1)
+	s, err := DefaultSplit(1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Train) != 500 || len(s.Validation) != 250 || len(s.Test) != 250 {
+		t.Fatalf("split sizes = %d/%d/%d", len(s.Train), len(s.Validation), len(s.Test))
+	}
+	seen := make([]bool, 1000)
+	for _, part := range [][]int{s.Train, s.Validation, s.Test} {
+		for _, i := range part {
+			if seen[i] {
+				t.Fatalf("row %d in two parts", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("row %d missing from split", i)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	rng := stats.NewRNG(2)
+	if _, err := DefaultSplit(0, rng); err == nil {
+		t.Fatal("zero-row split accepted")
+	}
+	if _, err := NewSplit(100, [3]float64{0.5, 0.6, 0.3}, rng); err == nil {
+		t.Fatal("fractions summing > 1 accepted")
+	}
+	if _, err := NewSplit(100, [3]float64{0.5, -0.25, 0.75}, rng); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if _, err := NewSplit(2, DefaultFractions, rng); err == nil {
+		t.Fatal("split leaving empty part accepted")
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a, _ := DefaultSplit(100, stats.NewRNG(7))
+	b, _ := DefaultSplit(100, stats.NewRNG(7))
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("same-seed splits differ")
+		}
+	}
+}
+
+func TestSplitApply(t *testing.T) {
+	d := churn()
+	m, _ := d.Materialize(d.JoinAllPlan())
+	s, err := NewSplit(m.NumRows(), [3]float64{0.5, 0.25, 0.25}, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, va, te := s.Apply(m)
+	if tr.NumRows()+va.NumRows()+te.NumRows() != m.NumRows() {
+		t.Fatal("Apply lost rows")
+	}
+	if tr.NumFeatures() != m.NumFeatures() {
+		t.Fatal("Apply lost features")
+	}
+}
+
+func TestOneHotEncoding(t *testing.T) {
+	d := churn()
+	m, _ := d.Materialize(d.JoinAllPlan())
+	// Encode Age (card 4 → 3 dims) and Gender (card 2 → 1 dim).
+	e := NewOneHot(m, []int{0, 1})
+	if e.Dims != 4 {
+		t.Fatalf("dims = %d, want 4", e.Dims)
+	}
+	row := make([]float64, e.Dims)
+	// Row 0: Age=0 → [1,0,0]; Gender=0 → [1].
+	e.Row(0, row)
+	want := []float64{1, 0, 0, 1}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("row0 = %v", row)
+		}
+	}
+	// Row 3: Age=3 (last category → zeros); Gender=1 (last → zero).
+	e.Row(3, row)
+	for i, v := range row {
+		if v != 0 {
+			t.Fatalf("last-category encoding nonzero at %d: %v", i, row)
+		}
+	}
+	mat := e.Matrix()
+	if len(mat) != m.NumRows() || len(mat[0]) != e.Dims {
+		t.Fatal("Matrix shape wrong")
+	}
+}
+
+func TestVCDimensionLinear(t *testing.T) {
+	d := churn()
+	m, _ := d.Materialize(d.JoinAllPlan())
+	// All 5 features: 1 + (4-1)+(2-1)+(4-1)+(3-1)+(2-1) = 1+3+1+3+2+1 = 11.
+	all := []int{0, 1, 2, 3, 4}
+	if v := VCDimensionLinear(m, all); v != 11 {
+		t.Fatalf("VC dim = %d, want 11", v)
+	}
+	if v := VCDimensionLinear(m, nil); v != 1 {
+		t.Fatalf("VC dim of empty set = %d, want 1", v)
+	}
+}

@@ -1,0 +1,71 @@
+package dataset
+
+// OneHot encodes a feature subset of a design matrix into dense float64 rows
+// using the paper's §3.2 recoding: a nominal feature F becomes a 0/1 vector
+// with |D_F|−1 dimensions, the last category mapping to the all-zero vector.
+// This is the representation under which the VC dimension of Naive Bayes and
+// logistic regression is 1 + Σ_F (|D_F|−1), the expression the ROR uses.
+type OneHot struct {
+	// Dims is the total encoded dimensionality (without intercept).
+	Dims int
+	// offsets[j] is the first output dimension of feature j.
+	offsets []int
+	// cards[j] is the cardinality of feature j.
+	cards []int
+	// features indexes into the source design's feature columns.
+	features []int
+	src      *Design
+}
+
+// NewOneHot prepares an encoder for the given feature indices of m.
+func NewOneHot(m *Design, featureIdx []int) *OneHot {
+	e := &OneHot{src: m, features: featureIdx}
+	e.offsets = make([]int, len(featureIdx))
+	e.cards = make([]int, len(featureIdx))
+	dims := 0
+	for j, fi := range featureIdx {
+		e.offsets[j] = dims
+		e.cards[j] = m.Features[fi].Card
+		dims += m.Features[fi].Card - 1
+	}
+	e.Dims = dims
+	return e
+}
+
+// Row writes the encoded representation of example i into dst, which must
+// have length Dims; it returns dst. Positions are 1 for the example's
+// category (if not the last) and 0 elsewhere.
+func (e *OneHot) Row(i int, dst []float64) []float64 {
+	for k := range dst {
+		dst[k] = 0
+	}
+	for j, fi := range e.features {
+		v := int(e.src.Features[fi].Data[i])
+		if v < e.cards[j]-1 {
+			dst[e.offsets[j]+v] = 1
+		}
+	}
+	return dst
+}
+
+// Matrix materializes the full encoded matrix, one row per example. Intended
+// for tests and small inputs; the linear models stream rows instead.
+func (e *OneHot) Matrix() [][]float64 {
+	n := e.src.NumRows()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = e.Row(i, make([]float64, e.Dims))
+	}
+	return out
+}
+
+// VCDimensionLinear returns 1 + Σ_F (|D_F|−1) over the given feature indices:
+// the VC dimension of a "linear" classifier (Naive Bayes, logistic
+// regression) on those nominal features under the binary recoding (§3.2).
+func VCDimensionLinear(m *Design, featureIdx []int) int {
+	v := 1
+	for _, fi := range featureIdx {
+		v += m.Features[fi].Card - 1
+	}
+	return v
+}

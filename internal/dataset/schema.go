@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hamlet/internal/relational"
+)
+
+// SchemaSpec is the on-disk description of a normalized dataset: which CSV
+// holds the entity table, the target column, and the KFK references. It is
+// the declarative input that lets the hamlet CLI run the decision rules on
+// user data.
+//
+// Example (walmart.json):
+//
+//	{
+//	  "name": "Walmart",
+//	  "entity": "sales.csv",
+//	  "target": "SalesLevel",
+//	  "homeFeatures": ["Dept"],
+//	  "numericBins": 10,
+//	  "attributes": [
+//	    {"table": "indicators.csv", "fk": "IndicatorID", "closedDomain": true},
+//	    {"table": "stores.csv",     "fk": "StoreID",     "closedDomain": true}
+//	  ]
+//	}
+//
+// Foreign-key columns must contain the attribute table's key values; rows
+// are matched by value (the attribute CSV's key column must share the FK's
+// column name), then re-encoded to RID indices.
+type SchemaSpec struct {
+	// Name labels the dataset.
+	Name string `json:"name"`
+	// Entity is the entity table's CSV path, relative to the spec file.
+	Entity string `json:"entity"`
+	// Target names the label column in the entity CSV.
+	Target string `json:"target"`
+	// HomeFeatures lists the X_S columns in the entity CSV.
+	HomeFeatures []string `json:"homeFeatures"`
+	// NumericBins, when positive, bins all-numeric columns into this many
+	// equal-width categories (the paper's preprocessing).
+	NumericBins int `json:"numericBins"`
+	// Attributes lists the KFK references.
+	Attributes []AttrSpec `json:"attributes"`
+}
+
+// AttrSpec describes one attribute table.
+type AttrSpec struct {
+	// Table is the attribute table's CSV path, relative to the spec file.
+	Table string `json:"table"`
+	// FK names both the FK column in the entity CSV and the key column in
+	// the attribute CSV.
+	FK string `json:"fk"`
+	// ClosedDomain declares whether the FK domain is closed w.r.t. the
+	// prediction task (§2.1) — only such FKs are usable as features.
+	ClosedDomain bool `json:"closedDomain"`
+}
+
+// ParseSchemaSpec decodes a spec from JSON.
+func ParseSchemaSpec(r io.Reader) (*SchemaSpec, error) {
+	var spec SchemaSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("dataset: parsing schema spec: %w", err)
+	}
+	if spec.Name == "" || spec.Entity == "" || spec.Target == "" {
+		return nil, fmt.Errorf("dataset: schema spec needs name, entity, and target")
+	}
+	return &spec, nil
+}
+
+// LoadDataset reads the spec file and materializes the dataset from its
+// CSVs. Paths inside the spec resolve relative to the spec file's directory.
+func LoadDataset(specPath string) (*Dataset, error) {
+	f, err := os.Open(specPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	spec, err := ParseSchemaSpec(f)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Load(filepath.Dir(specPath))
+}
+
+// Load materializes the dataset, resolving CSV paths against dir.
+func (spec *SchemaSpec) Load(dir string) (*Dataset, error) {
+	opts := relational.ReadCSVOptions{NumericBins: spec.NumericBins}
+	entityRaw, entityDicts, err := readCSVFile(filepath.Join(dir, spec.Entity), spec.Name+"_S", opts)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{Name: spec.Name, Target: spec.Target, HomeFeatures: spec.HomeFeatures}
+
+	// Rebuild the entity table so FK columns can be re-encoded as RIDs.
+	entity := relational.NewTable(spec.Name + "_S")
+	fkSpecs := make(map[string]AttrSpec, len(spec.Attributes))
+	for _, as := range spec.Attributes {
+		fkSpecs[as.FK] = as
+	}
+	for _, c := range entityRaw.Columns() {
+		if _, isFK := fkSpecs[c.Name]; isFK {
+			continue // handled below, after the attribute table loads
+		}
+		if err := entity.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, as := range spec.Attributes {
+		attrRaw, attrDicts, err := readCSVFile(filepath.Join(dir, as.Table), as.Table, opts)
+		if err != nil {
+			return nil, err
+		}
+		keyCol := attrRaw.Column(as.FK)
+		if keyCol == nil {
+			return nil, fmt.Errorf("dataset: attribute csv %q lacks key column %q", as.Table, as.FK)
+		}
+		keyDict := attrDicts[as.FK]
+		if keyDict == nil {
+			return nil, fmt.Errorf("dataset: key column %q of %q must be categorical, not numeric", as.FK, as.Table)
+		}
+		// Key label → row index; reject duplicate keys.
+		ridOf := make(map[string]int32, attrRaw.NumRows())
+		for row := 0; row < attrRaw.NumRows(); row++ {
+			label := keyDict.Label(keyCol.Data[row])
+			if _, dup := ridOf[label]; dup {
+				return nil, fmt.Errorf("dataset: duplicate key %q in %q", label, as.Table)
+			}
+			ridOf[label] = int32(row)
+		}
+		// Attribute table features = everything except the key column.
+		attr := relational.NewTable(trimCSVName(as.Table))
+		for _, c := range attrRaw.Columns() {
+			if c.Name == as.FK {
+				continue
+			}
+			if err := attr.AddColumn(c); err != nil {
+				return nil, err
+			}
+		}
+		// Re-encode the entity FK column against the key labels.
+		fkRaw := entityRaw.Column(as.FK)
+		if fkRaw == nil {
+			return nil, fmt.Errorf("dataset: entity csv lacks FK column %q", as.FK)
+		}
+		fkDict := entityDicts[as.FK]
+		if fkDict == nil {
+			return nil, fmt.Errorf("dataset: FK column %q must be categorical, not numeric", as.FK)
+		}
+		data := make([]int32, fkRaw.Len())
+		for i, code := range fkRaw.Data {
+			label := fkDict.Label(code)
+			rid, ok := ridOf[label]
+			if !ok {
+				return nil, fmt.Errorf("dataset: entity row %d references %s=%q absent from %q (load-time referential integrity)", i, as.FK, label, as.Table)
+			}
+			data[i] = rid
+		}
+		if err := entity.AddColumn(&relational.Column{Name: as.FK, Card: attrRaw.NumRows(), Data: data}); err != nil {
+			return nil, err
+		}
+		d.Attrs = append(d.Attrs, AttributeTable{Table: attr, FK: as.FK, ClosedDomain: as.ClosedDomain})
+	}
+	d.Entity = entity
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func readCSVFile(path, name string, opts relational.ReadCSVOptions) (*relational.Table, map[string]*relational.Dictionary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return relational.ReadCSV(name, f, opts)
+}
+
+func trimCSVName(p string) string {
+	base := filepath.Base(p)
+	if ext := filepath.Ext(base); ext != "" {
+		base = base[:len(base)-len(ext)]
+	}
+	return base
+}

@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture lays a small CSV dataset plus spec on disk.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"sales.csv": `SalesLevel,Dept,StoreID
+high,toys,s1
+low,food,s2
+high,toys,s1
+low,toys,s3
+high,food,s2
+`,
+		"stores.csv": `StoreID,Type,Size
+s1,a,100
+s2,b,250
+s3,a,300
+`,
+		"spec.json": `{
+  "name": "MiniMart",
+  "entity": "sales.csv",
+  "target": "SalesLevel",
+  "homeFeatures": ["Dept"],
+  "numericBins": 2,
+  "attributes": [
+    {"table": "stores.csv", "fk": "StoreID", "closedDomain": true}
+  ]
+}`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadDatasetFromCSVs(t *testing.T) {
+	dir := writeFixture(t)
+	d, err := LoadDataset(filepath.Join(dir, "spec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "MiniMart" || d.NumRows() != 5 || d.NumClasses() != 2 {
+		t.Fatalf("dataset = %+v", d)
+	}
+	// FK re-encoded to RIDs: sales rows reference stores by row index.
+	fk := d.Entity.Column("StoreID")
+	if fk.Card != 3 {
+		t.Fatalf("FK card = %d", fk.Card)
+	}
+	// Row 0 references s1 (store row 0); row 3 references s3 (row 2).
+	if fk.Data[0] != 0 || fk.Data[3] != 2 {
+		t.Fatalf("FK codes = %v", fk.Data)
+	}
+	// Attribute table lost its key column, kept Type and the binned Size.
+	attr := d.Attrs[0].Table
+	if attr.HasColumn("StoreID") || !attr.HasColumn("Type") || !attr.HasColumn("Size") {
+		t.Fatalf("attr columns = %v", attr.ColumnNames())
+	}
+	if attr.Column("Size").Card != 2 {
+		t.Fatalf("numeric Size should be binned to 2: %+v", attr.Column("Size"))
+	}
+	// End to end: the dataset materializes and joins correctly.
+	m, err := d.Materialize(d.JoinAllPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FeatureIndex("Type") < 0 || m.FeatureIndex("StoreID") < 0 || m.FeatureIndex("Dept") < 0 {
+		t.Fatalf("features = %v", m.FeatureNames())
+	}
+}
+
+func TestLoadDatasetReferentialIntegrity(t *testing.T) {
+	dir := writeFixture(t)
+	// Add a sale referencing a store that does not exist.
+	path := filepath.Join(dir, "sales.csv")
+	content, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, append(content, []byte("low,toys,s9\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDataset(filepath.Join(dir, "spec.json"))
+	if err == nil || !strings.Contains(err.Error(), "referential integrity") {
+		t.Fatalf("dangling FK not rejected: %v", err)
+	}
+}
+
+func TestLoadDatasetDuplicateKey(t *testing.T) {
+	dir := writeFixture(t)
+	path := filepath.Join(dir, "stores.csv")
+	content, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, append(content, []byte("s1,b,500\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDataset(filepath.Join(dir, "spec.json"))
+	if err == nil || !strings.Contains(err.Error(), "duplicate key") {
+		t.Fatalf("duplicate key not rejected: %v", err)
+	}
+}
+
+func TestParseSchemaSpecErrors(t *testing.T) {
+	cases := []string{
+		`{`,                             // malformed
+		`{"name":"x"}`,                  // missing entity/target
+		`{"name":"x","entity":"e.csv"}`, // missing target
+		`{"unknown":1,"name":"x","entity":"e","target":"y"}`, // unknown field
+	}
+	for i, c := range cases {
+		if _, err := ParseSchemaSpec(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLoadDatasetMissingFiles(t *testing.T) {
+	if _, err := LoadDataset("/nonexistent/spec.json"); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	dir := writeFixture(t)
+	os.Remove(filepath.Join(dir, "stores.csv"))
+	if _, err := LoadDataset(filepath.Join(dir, "spec.json")); err == nil {
+		t.Fatal("missing attribute csv accepted")
+	}
+}
+
+func TestLoadDatasetBadColumns(t *testing.T) {
+	dir := writeFixture(t)
+	spec := `{
+  "name": "X", "entity": "sales.csv", "target": "SalesLevel",
+  "attributes": [{"table": "stores.csv", "fk": "NoSuchFK", "closedDomain": true}]
+}`
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDataset(filepath.Join(dir, "bad.json")); err == nil {
+		t.Fatal("unknown FK column accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"fmt"
+
+	"hamlet/internal/stats"
+)
+
+// Split is the paper's holdout protocol (§2.2): the labeled data is divided
+// 50%:25%:25% into a training set, a validation set used during feature
+// selection, and a final holdout test set.
+type Split struct {
+	// Train, Validation, Test are row-index sets into the source design
+	// matrix; they partition [0, n).
+	Train, Validation, Test []int
+}
+
+// DefaultFractions are the paper's split fractions.
+var DefaultFractions = [3]float64{0.5, 0.25, 0.25}
+
+// NewSplit shuffles [0, n) with the given RNG and partitions it by the
+// fractions, which must be positive and sum to 1 (within 1e-9). Remainder
+// rows after flooring go to the test set.
+func NewSplit(n int, fractions [3]float64, rng *stats.RNG) (*Split, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: split of %d rows", n)
+	}
+	sum := 0.0
+	for _, f := range fractions {
+		if f <= 0 {
+			return nil, fmt.Errorf("dataset: nonpositive split fraction %v", f)
+		}
+		sum += f
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		return nil, fmt.Errorf("dataset: split fractions sum to %v, want 1", sum)
+	}
+	perm := rng.Perm(n)
+	nTrain := int(fractions[0] * float64(n))
+	nVal := int(fractions[1] * float64(n))
+	if nTrain == 0 || nVal == 0 || nTrain+nVal >= n {
+		return nil, fmt.Errorf("dataset: split of %d rows leaves an empty part", n)
+	}
+	s := &Split{
+		Train:      perm[:nTrain],
+		Validation: perm[nTrain : nTrain+nVal],
+		Test:       perm[nTrain+nVal:],
+	}
+	return s, nil
+}
+
+// DefaultSplit applies the paper's 50/25/25 fractions.
+func DefaultSplit(n int, rng *stats.RNG) (*Split, error) {
+	return NewSplit(n, DefaultFractions, rng)
+}
+
+// Apply materializes the three partitions of the design matrix.
+func (s *Split) Apply(m *Design) (train, val, test *Design) {
+	return m.SelectRows(s.Train), m.SelectRows(s.Validation), m.SelectRows(s.Test)
+}

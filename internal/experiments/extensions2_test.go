@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+func TestColdStartExperiment(t *testing.T) {
+	res, err := RunColdStart(testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("coldstart rows = %d", len(tab.Rows))
+	}
+	// With no drift the three strategies coincide.
+	if cellF(t, tab, 0, "errOthers") != cellF(t, tab, 0, "errClamp") {
+		t.Fatal("strategies should agree at zero drift")
+	}
+	// At the heaviest drift, the Others record must not be worse than
+	// clamping to an arbitrary RID.
+	last := len(tab.Rows) - 1
+	if cellF(t, tab, last, "errOthers") > cellF(t, tab, last, "errClamp")+1e-9 {
+		t.Fatalf("Others (%v) worse than clamping (%v) at heavy drift",
+			cellF(t, tab, last, "errOthers"), cellF(t, tab, last, "errClamp"))
+	}
+}
+
+func TestCVExperiment(t *testing.T) {
+	res, err := RunCV(testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	if len(tab.Rows) != 7 {
+		t.Fatalf("cv rows = %d", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		// CV and holdout must land close (neither protocol blows up).
+		gap := cellF(t, tab, i, "errCV") - cellF(t, tab, i, "errHoldout")
+		if gap > 0.08 || gap < -0.08 {
+			t.Errorf("%s: CV vs holdout gap %v", tab.Rows[i][0], gap)
+		}
+	}
+}

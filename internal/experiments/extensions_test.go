@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestXsFkScenarioShapes(t *testing.T) {
+	res, err := RunXsFk(testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errT := res.TableByTitle("test error")
+	if errT == nil {
+		t.Fatal("missing error table")
+	}
+	last := len(errT.Rows) - 1
+	// NoJoin matches UseAll at large n_S (dropping X_R loses nothing).
+	if gap := cellF(t, errT, last, "NoJoin") - cellF(t, errT, last, "UseAll"); gap > 0.01 {
+		t.Fatalf("NoJoin should match UseAll when X_R is noise, gap %v", gap)
+	}
+	// NoFK is strictly worse: FK is irreplaceable in this scenario.
+	if cellF(t, errT, last, "NoFK") <= cellF(t, errT, last, "NoJoin")+0.01 {
+		t.Fatal("NoFK should be clearly worse than NoJoin in XsFkOnly")
+	}
+}
+
+func TestFCBFAblation(t *testing.T) {
+	res, err := RunFCBF(testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	if len(tab.Rows) != 7 {
+		t.Fatalf("fcbf rows = %d", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		// FCBF over JoinAll must land within tolerance of FCBF over
+		// JoinOpt: the instance-based method discovers the same
+		// redundancy the schema rule predicts.
+		gap := cellF(t, tab, i, "FCBF_JoinAll") - cellF(t, tab, i, "FCBF_JoinOpt")
+		if gap > 0.08 || gap < -0.08 {
+			t.Errorf("%s: FCBF plans disagree by %v", tab.Rows[i][0], gap)
+		}
+		// And it must actually prune: far fewer kept than candidates.
+		if cellF(t, tab, i, "KeptAll")*3 > cellF(t, tab, i, "FeatsAll") {
+			t.Errorf("%s: FCBF barely pruned", tab.Rows[i][0])
+		}
+	}
+}
+
+func TestJointAblation(t *testing.T) {
+	res, err := RunJoint(testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	for i := range tab.Rows {
+		indep := cellF(t, tab, i, "AvoidedIndep")
+		joint := cellF(t, tab, i, "AvoidedJoint")
+		if joint > indep {
+			t.Errorf("%s: joint mode avoided more tables than independent", tab.Rows[i][0])
+		}
+	}
+}
+
+func TestSkewGuardAblation(t *testing.T) {
+	res, err := RunSkewGuard(testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	// The malign needle cases must trip the fine-grained guard.
+	for i, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "needle") {
+			if tab.Cell(i, "fineGuardTrips") != "true" {
+				t.Errorf("%s: fine guard did not trip", row[0])
+			}
+		}
+	}
+	// The worst measured damage must be on a guarded (tripped) row.
+	worst, worstIdx := -1.0, -1
+	for i := range tab.Rows {
+		if v := cellF(t, tab, i, "dErr"); v > worst {
+			worst, worstIdx = v, i
+		}
+	}
+	if tab.Cell(worstIdx, "fineGuardTrips") != "true" {
+		t.Errorf("worst damage (%v on %s) was not guarded", worst, tab.Rows[worstIdx][0])
+	}
+}
+
+func TestExtensionIDsRegistered(t *testing.T) {
+	for _, id := range []string{"xsfk", "fcbf", "joint", "skewguard"} {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("extension %q missing from registry", id)
+		}
+	}
+}
+
+func TestFig1Containment(t *testing.T) {
+	res, err := RunFig1(testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.TableByTitle("summary")
+	if sum == nil {
+		t.Fatal("missing summary")
+	}
+	// The operative guarantees: neither rule clears an unsafe join (allow
+	// a single Monte Carlo noise flip at the test budget's depth).
+	for _, q := range []string{
+		"violations C⊄A (ROR cleared an unsafe join)",
+		"violations D⊄A (TR cleared an unsafe join)",
+	} {
+		if v := cellF(t, sum, sum.FindRow("quantity", q), "value"); v > 1 {
+			t.Fatalf("%s = %v", q, v)
+		}
+	}
+	// Conservatism: both rules clear a nonempty subset of A.
+	a := cellF(t, sum, sum.FindRow("quantity", "|A| actually safe"), "value")
+	c := cellF(t, sum, sum.FindRow("quantity", "|C| ROR rule clears"), "value")
+	d := cellF(t, sum, sum.FindRow("quantity", "|D| TR rule clears"), "value")
+	if c == 0 || d == 0 || c > a+1 || d > a+1 {
+		t.Fatalf("box sizes implausible: |A|=%v |C|=%v |D|=%v", a, c, d)
+	}
+	// Figure 5's gap must be visible: with q_R* = |D_FK| the ROR rule
+	// clears configurations the TR rule refuses.
+	if v := cellF(t, sum, sum.FindRow("quantity", "Figure-5 gap: C∖D when qR*=|D_FK| (ROR clears, TR refuses)"), "value"); v == 0 {
+		t.Fatal("expected a nonempty Figure-5 gap")
+	}
+}

@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hamlet/internal/biasvar"
+	"hamlet/internal/core"
+	"hamlet/internal/ml/nb"
+	"hamlet/internal/stats"
+	"hamlet/internal/synth"
+)
+
+// simPoint runs the Monte Carlo bias–variance study for one simulation
+// configuration and training size.
+func simPoint(sim synth.SimConfig, nTrain int, b Budget, seed uint64) (map[string]biasvar.Decomp, error) {
+	return biasvar.Run(sim, biasvar.Config{
+		NTrain:  nTrain,
+		NTest:   b.NTest,
+		L:       b.L,
+		Worlds:  b.Worlds,
+		Seed:    seed,
+		Learner: nb.New(),
+	})
+}
+
+// addSweepRow appends one sweep point (three model classes) to err/netvar
+// tables whose first column holds the swept value.
+func addSweepRow(errT, nvT *Table, x string, out map[string]biasvar.Decomp) {
+	errT.Add(x, f(out["UseAll"].TestError), f(out["NoJoin"].TestError), f(out["NoFK"].TestError))
+	nvT.Add(x, f(out["UseAll"].NetVariance), f(out["NoJoin"].NetVariance), f(out["NoFK"].NetVariance))
+}
+
+func sweepTables(fig, xName string) (*Table, *Table) {
+	cols := []string{xName, "UseAll", "NoJoin", "NoFK"}
+	return &Table{Title: fig + ": average test error vs " + xName, Columns: cols},
+		&Table{Title: fig + ": average net variance vs " + xName, Columns: cols}
+}
+
+// oneXrBase is the Figure 3 configuration: dS=2, dR=4, |D_FK|=40, p=0.1.
+func oneXrBase() synth.SimConfig {
+	return synth.SimConfig{Scenario: synth.OneXr, DS: 2, DR: 4, NR: 40, P: 0.1}
+}
+
+// allXsXrBase is the Figure 11 configuration: dS=4, dR=4, |D_FK|=40, p=0.1.
+func allXsXrBase() synth.SimConfig {
+	return synth.SimConfig{Scenario: synth.AllXsXr, DS: 4, DR: 4, NR: 40, P: 0.1}
+}
+
+// NSSweep and FKSweep are the swept grids shared by Figures 3/11 and the
+// scatter studies of Figures 4/12.
+var (
+	NSSweep = []int{100, 200, 400, 1000, 2000, 4000}
+	FKSweep = []int{10, 25, 50, 100, 200, 400}
+)
+
+// RunFig3 regenerates Figure 3: scenario OneXr, test error and net variance
+// (A) against n_S with (d_S, d_R, |D_FK|) = (2, 4, 40) and (B) against
+// |D_FK| with (n_S, d_S, d_R) = (1000, 4, 4).
+func RunFig3(b Budget) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	errA, nvA := sweepTables("Figure 3(A)", "n_S")
+	for _, nS := range NSSweep {
+		out, err := simPoint(oneXrBase(), nS, b, b.Seed)
+		if err != nil {
+			return nil, err
+		}
+		addSweepRow(errA, nvA, d(nS), out)
+	}
+	errB, nvB := sweepTables("Figure 3(B)", "|D_FK|")
+	for _, nR := range FKSweep {
+		sim := synth.SimConfig{Scenario: synth.OneXr, DS: 4, DR: 4, NR: nR, P: 0.1}
+		out, err := simPoint(sim, 1000, b, b.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		addSweepRow(errB, nvB, d(nR), out)
+	}
+	return &Result{ID: "fig3", Tables: []*Table{errA, nvA, errB, nvB}}, nil
+}
+
+// RunFig10 regenerates Figure 10: scenario OneXr under the remaining
+// parameter sweeps — (A) d_R with (n_S, d_S, |D_FK|, p) = (1000, 4, 100,
+// 0.1), (B) d_S with (n_S, d_R, |D_FK|, p) = (1000, 4, 40, 0.1), and (C) p
+// with (n_S, d_S, d_R, |D_FK|) = (1000, 4, 4, 200).
+func RunFig10(b Budget) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	errA, nvA := sweepTables("Figure 10(A)", "d_R")
+	for _, dR := range []int{1, 2, 4, 8, 16} {
+		sim := synth.SimConfig{Scenario: synth.OneXr, DS: 4, DR: dR, NR: 100, P: 0.1}
+		out, err := simPoint(sim, 1000, b, b.Seed+2)
+		if err != nil {
+			return nil, err
+		}
+		addSweepRow(errA, nvA, d(dR), out)
+	}
+	errB, nvB := sweepTables("Figure 10(B)", "d_S")
+	for _, dS := range []int{0, 2, 4, 8, 16} {
+		sim := synth.SimConfig{Scenario: synth.OneXr, DS: dS, DR: 4, NR: 40, P: 0.1}
+		out, err := simPoint(sim, 1000, b, b.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+		addSweepRow(errB, nvB, d(dS), out)
+	}
+	errC, nvC := sweepTables("Figure 10(C)", "p")
+	for _, p := range []float64{0.05, 0.1, 0.2, 0.3, 0.4} {
+		sim := synth.SimConfig{Scenario: synth.OneXr, DS: 4, DR: 4, NR: 200, P: p}
+		out, err := simPoint(sim, 1000, b, b.Seed+4)
+		if err != nil {
+			return nil, err
+		}
+		addSweepRow(errC, nvC, fmt.Sprintf("%.2f", p), out)
+	}
+	return &Result{ID: "fig10", Tables: []*Table{errA, nvA, errB, nvB, errC, nvC}}, nil
+}
+
+// RunFig11 regenerates Figure 11: scenario AllXsXr under sweeps of n_S,
+// |D_FK|, d_R, and d_S.
+func RunFig11(b Budget) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	errA, nvA := sweepTables("Figure 11(A)", "n_S")
+	for _, nS := range NSSweep {
+		out, err := simPoint(allXsXrBase(), nS, b, b.Seed+5)
+		if err != nil {
+			return nil, err
+		}
+		addSweepRow(errA, nvA, d(nS), out)
+	}
+	errB, nvB := sweepTables("Figure 11(B)", "|D_FK|")
+	for _, nR := range FKSweep {
+		sim := synth.SimConfig{Scenario: synth.AllXsXr, DS: 4, DR: 4, NR: nR, P: 0.1}
+		out, err := simPoint(sim, 1000, b, b.Seed+6)
+		if err != nil {
+			return nil, err
+		}
+		addSweepRow(errB, nvB, d(nR), out)
+	}
+	errC, nvC := sweepTables("Figure 11(C)", "d_R")
+	for _, dR := range []int{1, 2, 4, 8, 16} {
+		sim := synth.SimConfig{Scenario: synth.AllXsXr, DS: 4, DR: dR, NR: 100, P: 0.1}
+		out, err := simPoint(sim, 1000, b, b.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		addSweepRow(errC, nvC, d(dR), out)
+	}
+	errD, nvD := sweepTables("Figure 11(D)", "d_S")
+	for _, dS := range []int{0, 2, 4, 8, 16} {
+		sim := synth.SimConfig{Scenario: synth.AllXsXr, DS: dS, DR: 4, NR: 40, P: 0.1}
+		out, err := simPoint(sim, 1000, b, b.Seed+8)
+		if err != nil {
+			return nil, err
+		}
+		addSweepRow(errD, nvD, d(dS), out)
+	}
+	return &Result{ID: "fig11", Tables: []*Table{errA, nvA, errB, nvB, errC, nvC, errD, nvD}}, nil
+}
+
+// scatterStudy runs the configuration grid behind Figures 4 and 12: the
+// cross product of NSSweep × FKSweep (skipping degenerate points) for the
+// given scenario, producing one ScatterPoint per configuration plus the
+// scatter table.
+func scatterStudy(scenario synth.Scenario, b Budget, seed uint64) (*Table, []core.ScatterPoint, error) {
+	t := &Table{
+		Title:   "scatter: ΔTest error vs ROR and TR (" + scenario.String() + ")",
+		Columns: []string{"n_S", "|D_FK|", "ROR", "TR", "1/sqrt(TR)", "dErr"},
+	}
+	var points []core.ScatterPoint
+	for _, nS := range NSSweep {
+		for _, nR := range FKSweep {
+			if nR*4 >= nS {
+				continue // keep TR ≥ 4 so NB has a few examples per FK value
+			}
+			sim := synth.SimConfig{Scenario: scenario, DS: 2, DR: 4, NR: nR, P: 0.1}
+			out, err := simPoint(sim, nS, b, seed+uint64(nS*7+nR))
+			if err != nil {
+				return nil, nil, err
+			}
+			dErr := out["NoJoin"].TestError - out["UseAll"].TestError
+			ror, err := core.ROR(nS, nR, 2, core.DefaultDelta)
+			if err != nil {
+				return nil, nil, err
+			}
+			tr, err := core.TupleRatio(nS, nR)
+			if err != nil {
+				return nil, nil, err
+			}
+			points = append(points, core.ScatterPoint{ROR: ror, TR: tr, DeltaError: dErr})
+			t.Add(d(nS), d(nR), f(ror), f(tr), f(1/math.Sqrt(tr)), f(dErr))
+		}
+	}
+	return t, points, nil
+}
+
+// scatterSummary derives the Figure 4(C)-style summary: the ROR↔1/√TR
+// Pearson coefficient and thresholds tuned at both paper tolerances.
+func scatterSummary(points []core.ScatterPoint) *Table {
+	t := &Table{Title: "scatter summary: ROR↔TR relationship and tuned thresholds",
+		Columns: []string{"quantity", "value"}}
+	var rors, inv []float64
+	for _, p := range points {
+		rors = append(rors, p.ROR)
+		inv = append(inv, 1/math.Sqrt(p.TR))
+	}
+	t.Add("Pearson(ROR, 1/sqrt(TR))", f(stats.Pearson(rors, inv)))
+	for _, tol := range []float64{0.001, 0.01} {
+		th, err := core.TuneThresholds(points, tol)
+		if err != nil {
+			t.Add(fmt.Sprintf("thresholds@%.3f", tol), "untunable: "+err.Error())
+			continue
+		}
+		t.Add(fmt.Sprintf("rho@%.3f", tol), f(th.Rho))
+		t.Add(fmt.Sprintf("tau@%.3f", tol), f(th.Tau))
+	}
+	return t
+}
+
+// RunFig4 regenerates Figure 4: the OneXr scatter of ΔTest error against
+// ROR and TR, and the ROR↔1/√TR linearity summary with tuned thresholds.
+func RunFig4(b Budget) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	scatter, points, err := scatterStudy(synth.OneXr, b, b.Seed+10)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: "fig4", Tables: []*Table{scatter, scatterSummary(points)}}, nil
+}
+
+// RunFig12 regenerates Figure 12: the same scatter study for the AllXsXr
+// scenario, verifying that the same thresholds remain valid.
+func RunFig12(b Budget) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	scatter, points, err := scatterStudy(synth.AllXsXr, b, b.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: "fig12", Tables: []*Table{scatter, scatterSummary(points)}}, nil
+}
+
+// RunFig13 regenerates Figure 13 (Appendix D): foreign-key skew. (A) benign
+// Zipf skew — A1 varies the Zipf parameter at n_S = 1000, A2 varies n_S at
+// parameter 2; (B) malign needle-and-thread skew — B1 varies the needle
+// probability at n_S = 1000, B2 varies n_S at probability 0.5. Only UseAll
+// and NoJoin are compared, as in the paper.
+func RunFig13(b Budget) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	mk := func(title, x string) *Table {
+		return &Table{Title: title, Columns: []string{x, "UseAll", "NoJoin", "dErr"}}
+	}
+	add := func(t *Table, x string, out map[string]biasvar.Decomp) {
+		t.Add(x, f(out["UseAll"].TestError), f(out["NoJoin"].TestError),
+			f(out["NoJoin"].TestError-out["UseAll"].TestError))
+	}
+	a1 := mk("Figure 13(A1): benign Zipf skew, vary skew parameter", "zipf_s")
+	for _, s := range []float64{0, 1, 2, 4} {
+		sim := synth.SimConfig{Scenario: synth.OneXr, DS: 4, DR: 4, NR: 40, P: 0.1, Skew: synth.ZipfSkew, ZipfS: s}
+		out, err := simPoint(sim, 1000, b, b.Seed+12)
+		if err != nil {
+			return nil, err
+		}
+		add(a1, fmt.Sprintf("%.1f", s), out)
+	}
+	a2 := mk("Figure 13(A2): benign Zipf skew (s=2), vary n_S", "n_S")
+	for _, nS := range []int{250, 500, 1000, 2000, 4000} {
+		sim := synth.SimConfig{Scenario: synth.OneXr, DS: 4, DR: 4, NR: 40, P: 0.1, Skew: synth.ZipfSkew, ZipfS: 2}
+		out, err := simPoint(sim, nS, b, b.Seed+13)
+		if err != nil {
+			return nil, err
+		}
+		add(a2, d(nS), out)
+	}
+	b1 := mk("Figure 13(B1): malign needle-and-thread skew, vary needle probability", "needle_p")
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		sim := synth.SimConfig{Scenario: synth.OneXr, DS: 4, DR: 4, NR: 40, P: 0.1, Skew: synth.NeedleThreadSkew, NeedleP: p}
+		out, err := simPoint(sim, 1000, b, b.Seed+14)
+		if err != nil {
+			return nil, err
+		}
+		add(b1, fmt.Sprintf("%.1f", p), out)
+	}
+	b2 := mk("Figure 13(B2): malign skew (needle=0.5), vary n_S", "n_S")
+	for _, nS := range []int{250, 500, 1000, 2000, 4000} {
+		sim := synth.SimConfig{Scenario: synth.OneXr, DS: 4, DR: 4, NR: 40, P: 0.1, Skew: synth.NeedleThreadSkew, NeedleP: 0.5}
+		out, err := simPoint(sim, nS, b, b.Seed+15)
+		if err != nil {
+			return nil, err
+		}
+		add(b2, d(nS), out)
+	}
+	return &Result{ID: "fig13", Tables: []*Table{a1, a2, b1, b2}}, nil
+}

@@ -1,0 +1,86 @@
+package fs
+
+import (
+	"testing"
+
+	"hamlet/internal/ml/logreg"
+	"hamlet/internal/ml/nb"
+)
+
+func TestCrossValidatedForwardPicksSignal(t *testing.T) {
+	train, val := halves(signalNoise(2000, 3, 21))
+	cv := CrossValidated{Inner: Forward{}, K: 4, Seed: 1}
+	res, err := cv.Select(nb.New(), train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFeature(res, 0) {
+		t.Fatalf("CV forward missed the strong feature: %v", res.Features)
+	}
+	for _, f := range res.Features {
+		if f >= 2 {
+			t.Fatalf("CV forward kept noise feature %d", f)
+		}
+	}
+}
+
+func TestCrossValidatedBackward(t *testing.T) {
+	train, val := halves(signalNoise(2000, 2, 22))
+	cv := CrossValidated{Inner: Backward{}, K: 3, Seed: 2}
+	res, err := cv.Select(nb.New(), train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFeature(res, 0) {
+		t.Fatalf("CV backward dropped the strong feature: %v", res.Features)
+	}
+}
+
+func TestCrossValidatedGenericLearner(t *testing.T) {
+	train, val := halves(signalNoise(400, 1, 23))
+	cv := CrossValidated{Inner: Forward{}, K: 2, Seed: 3}
+	res, err := cv.Select(logreg.New(logreg.L2), train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFeature(res, 0) {
+		t.Fatalf("CV forward with logreg missed the signal: %v", res.Features)
+	}
+}
+
+func TestCrossValidatedErrors(t *testing.T) {
+	train, val := halves(signalNoise(100, 1, 24))
+	if _, err := (CrossValidated{Inner: Forward{}, K: 1}).Select(nb.New(), train, val); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+	if _, err := (CrossValidated{Inner: MIFilter(), K: 3}).Select(nb.New(), train, val); err == nil {
+		t.Fatal("CV over a filter accepted")
+	}
+	if _, err := (CrossValidated{Inner: Forward{}, K: 3}).Select(nb.New(), nil, val); err == nil {
+		t.Fatal("nil train accepted")
+	}
+}
+
+func TestCrossValidatedName(t *testing.T) {
+	if (CrossValidated{Inner: Forward{}, K: 5}).Name() != "forward-cv5" {
+		t.Fatal("name")
+	}
+}
+
+// TestCrossValidatedMoreStableThanHoldout: CV's subset score averages k
+// folds, so across reruns with different seeds its chosen subsets should
+// never *lose* the strong feature, even on small data where a single
+// holdout split occasionally misleads greedy search.
+func TestCrossValidatedMoreStableThanHoldout(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		train, val := halves(signalNoise(600, 4, 30+seed))
+		cv := CrossValidated{Inner: Forward{}, K: 5, Seed: seed}
+		res, err := cv.Select(nb.New(), train, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasFeature(res, 0) {
+			t.Fatalf("seed %d: CV forward lost the strong feature", seed)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package fs
+
+import (
+	"hamlet/internal/dataset"
+	"hamlet/internal/ml"
+	"hamlet/internal/ml/logreg"
+)
+
+// Embedded is the paper's embedded feature selection (§2.2, §5.3): L1- or
+// L2-regularized logistic regression over all candidate features, with the
+// regularization strength tuned on the validation split. Under L1 the
+// selected features are those retaining at least one nonzero indicator
+// weight.
+type Embedded struct {
+	// Penalty selects L1 or L2.
+	Penalty logreg.Penalty
+	// Lambdas is the grid searched over the validation split; when empty,
+	// DefaultLambdas is used.
+	Lambdas []float64
+	// Tol is the weight magnitude below which an indicator counts as zero
+	// when reporting active features; defaults to 1e-6.
+	Tol float64
+}
+
+// DefaultLambdas is the regularization grid used when Embedded.Lambdas is
+// empty.
+var DefaultLambdas = []float64{1e-5, 1e-4, 1e-3}
+
+// Name implements Method.
+func (e Embedded) Name() string { return "embedded-" + e.Penalty.String() }
+
+// Select implements Method. The learner argument is ignored: the embedded
+// method is wired to its own logistic regression (that is what "embedded"
+// means); passing a non-nil learner of another type is not an error, to let
+// harness code treat all methods uniformly.
+func (e Embedded) Select(_ ml.Learner, train, val *dataset.Design) (Result, error) {
+	if err := checkDesigns(train, val); err != nil {
+		return Result{}, err
+	}
+	lambdas := e.Lambdas
+	if len(lambdas) == 0 {
+		lambdas = DefaultLambdas
+	}
+	tol := e.Tol
+	if tol == 0 {
+		tol = 1e-6
+	}
+	all := make([]int, train.NumFeatures())
+	for i := range all {
+		all[i] = i
+	}
+	metric := ml.MetricFor(train.NumClasses)
+	var best *logreg.Model
+	bestErr := 0.0
+	evals := 0
+	for i, lam := range lambdas {
+		l := logreg.New(e.Penalty)
+		l.Config.Lambda = lam
+		mod, err := l.Fit(train, all)
+		if err != nil {
+			return Result{}, err
+		}
+		evals++
+		lm := mod.(*logreg.Model)
+		errV := metric(ml.PredictAll(lm, val), val.Y)
+		if i == 0 || errV < bestErr {
+			best, bestErr = lm, errV
+		}
+	}
+	var active []int
+	for j := range all {
+		if best.FeatureActive(j, tol) {
+			active = append(active, all[j])
+		}
+	}
+	return Result{Features: active, ValError: bestErr, Evaluations: evals}, nil
+}
+
+// FitBest refits the winning configuration and returns the trained model,
+// for callers that need the model itself (e.g. test-error reporting).
+func (e Embedded) FitBest(train, val *dataset.Design) (*logreg.Model, error) {
+	if err := checkDesigns(train, val); err != nil {
+		return nil, err
+	}
+	lambdas := e.Lambdas
+	if len(lambdas) == 0 {
+		lambdas = DefaultLambdas
+	}
+	all := make([]int, train.NumFeatures())
+	for i := range all {
+		all[i] = i
+	}
+	metric := ml.MetricFor(train.NumClasses)
+	var best *logreg.Model
+	bestErr := 0.0
+	for i, lam := range lambdas {
+		l := logreg.New(e.Penalty)
+		l.Config.Lambda = lam
+		mod, err := l.Fit(train, all)
+		if err != nil {
+			return nil, err
+		}
+		lm := mod.(*logreg.Model)
+		errV := metric(ml.PredictAll(lm, val), val.Y)
+		if i == 0 || errV < bestErr {
+			best, bestErr = lm, errV
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,135 @@
+package fs
+
+import (
+	"math"
+	"testing"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/ml/nb"
+	"hamlet/internal/stats"
+)
+
+func TestSymmetricUncertaintyBounds(t *testing.T) {
+	y := []int32{0, 1, 0, 1, 0, 1}
+	// SU(Y;Y) = 1.
+	if su := SymmetricUncertainty(y, 2, y, 2); math.Abs(su-1) > 1e-12 {
+		t.Fatalf("SU(Y;Y) = %v", su)
+	}
+	// Independent variables: SU ≈ 0.
+	a := []int32{0, 0, 1, 1, 0, 0, 1, 1}
+	b := []int32{0, 1, 0, 1, 0, 1, 0, 1}
+	if su := SymmetricUncertainty(a, 2, b, 2); su > 1e-9 {
+		t.Fatalf("SU of independents = %v", su)
+	}
+	// Constant variables: defined as 0.
+	c := make([]int32, 6)
+	if su := SymmetricUncertainty(c, 1, c, 1); su != 0 {
+		t.Fatalf("SU of constants = %v", su)
+	}
+}
+
+// TestFCBFRemovesFDRedundantFeatures is the instance-level counterpart of
+// Proposition 3.1: under the FD FK → F, FCBF detects SU(FK;F) ≥ SU(F;Y) and
+// removes the foreign feature — by computing over the data, which is
+// precisely the work the schema-based rules avoid.
+func TestFCBFRemovesFDRedundantFeatures(t *testing.T) {
+	r := stats.NewRNG(7)
+	n, nR := 4000, 16
+	fMap := make([]int32, nR)
+	for i := range fMap {
+		fMap[i] = int32(i % 3)
+	}
+	m := &dataset.Design{NumClasses: 2, Y: make([]int32, n)}
+	fk := make([]int32, n)
+	f := make([]int32, n)
+	for i := 0; i < n; i++ {
+		fk[i] = int32(r.IntN(nR))
+		f[i] = fMap[fk[i]]
+		y := int32(int(f[i]) % 2)
+		if !r.Bernoulli(0.9) {
+			y = 1 - y
+		}
+		m.Y[i] = y
+	}
+	m.Features = []dataset.Feature{
+		{Name: "FK", Card: nR, Data: fk, IsFK: true},
+		{Name: "F", Card: 3, Data: f},
+	}
+	train := m.SelectRows(seq(0, n/2))
+	val := m.SelectRows(seq(n/2, n))
+	res, err := FCBF{}.Select(nb.New(), train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Features) != 1 {
+		t.Fatalf("FCBF kept %v, want exactly one of the FD pair", res.FeatureNames(train))
+	}
+}
+
+func TestFCBFKeepsIndependentSignals(t *testing.T) {
+	r := stats.NewRNG(11)
+	n := 4000
+	m := &dataset.Design{NumClasses: 2, Y: make([]int32, n)}
+	a := make([]int32, n)
+	b := make([]int32, n)
+	noise := make([]int32, n)
+	for i := 0; i < n; i++ {
+		a[i] = int32(r.IntN(2))
+		b[i] = int32(r.IntN(2))
+		noise[i] = int32(r.IntN(4))
+		// Y depends on both a and b independently (noisy OR-ish).
+		y := a[i]
+		if r.Bernoulli(0.5) {
+			y = b[i]
+		}
+		m.Y[i] = y
+	}
+	m.Features = []dataset.Feature{
+		{Name: "a", Card: 2, Data: a},
+		{Name: "b", Card: 2, Data: b},
+		{Name: "noise", Card: 4, Data: noise},
+	}
+	train := m.SelectRows(seq(0, n/2))
+	val := m.SelectRows(seq(n/2, n))
+	res, err := FCBF{Delta: 0.01}.Select(nb.New(), train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := res.FeatureNames(train)
+	hasA, hasB := false, false
+	for _, nm := range names {
+		switch nm {
+		case "a":
+			hasA = true
+		case "b":
+			hasB = true
+		case "noise":
+			t.Fatalf("FCBF kept the noise feature: %v", names)
+		}
+	}
+	if !hasA || !hasB {
+		t.Fatalf("FCBF dropped an independent signal: %v", names)
+	}
+}
+
+func TestFCBFValidation(t *testing.T) {
+	train, val := halves(signalNoise(100, 1, 13))
+	if _, err := (FCBF{}).Select(nb.New(), nil, val); err == nil {
+		t.Fatal("nil train accepted")
+	}
+	_ = train
+}
+
+func TestFCBFName(t *testing.T) {
+	if (FCBF{}).Name() != "fcbf" {
+		t.Fatal("name")
+	}
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

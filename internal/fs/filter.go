@@ -1,0 +1,86 @@
+package fs
+
+import (
+	"sort"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/ml"
+	"hamlet/internal/stats"
+)
+
+// Score is a per-feature relevance scoring function for filters.
+type Score func(f []int32, cardF int, y []int32, cardY int) float64
+
+// MIScore is the mutual-information relevance score I(F;Y).
+func MIScore(f []int32, cardF int, y []int32, cardY int) float64 {
+	return stats.MutualInformation(f, cardF, y, cardY)
+}
+
+// IGRScore is the information-gain-ratio score IGR(F;Y) = I(F;Y)/H(F), which
+// penalizes large domains (§3.1.2).
+func IGRScore(f []int32, cardF int, y []int32, cardY int) float64 {
+	return stats.InformationGainRatio(f, cardF, y, cardY)
+}
+
+// Filter ranks features by a scoring function computed on the training split
+// and retains the top k, with k tuned by validation error of the learner
+// (the paper tunes the filtered count "using holdout validation as a
+// wrapper", §5.1).
+type Filter struct {
+	// ScoreName is the display name ("MI" or "IGR").
+	ScoreName string
+	// Score ranks features; higher is more relevant.
+	Score Score
+}
+
+// MIFilter returns the mutual-information filter.
+func MIFilter() Filter { return Filter{ScoreName: "MI", Score: MIScore} }
+
+// IGRFilter returns the information-gain-ratio filter.
+func IGRFilter() Filter { return Filter{ScoreName: "IGR", Score: IGRScore} }
+
+// Name implements Method.
+func (f Filter) Name() string { return "filter-" + f.ScoreName }
+
+// Rank returns feature indices sorted by decreasing score on the training
+// split (stable: ties keep design order).
+func (f Filter) Rank(train *dataset.Design) []int {
+	d := train.NumFeatures()
+	scores := make([]float64, d)
+	for i := 0; i < d; i++ {
+		ft := &train.Features[i]
+		scores[i] = f.Score(ft.Data, ft.Card, train.Y, train.NumClasses)
+	}
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	return order
+}
+
+// Select implements Method: rank on train, then sweep k = 1..d picking the
+// prefix with the lowest validation error.
+func (f Filter) Select(l ml.Learner, train, val *dataset.Design) (Result, error) {
+	if err := checkDesigns(train, val); err != nil {
+		return Result{}, err
+	}
+	order := f.Rank(train)
+	ev := NewEvaluator(l, train, val)
+	bestK := 0
+	bestErr, err := ev.Eval(nil)
+	if err != nil {
+		return Result{}, err
+	}
+	for k := 1; k <= len(order); k++ {
+		e, err := ev.Eval(order[:k])
+		if err != nil {
+			return Result{}, err
+		}
+		if e < bestErr {
+			bestErr, bestK = e, k
+		}
+	}
+	sel := append([]int(nil), order[:bestK]...)
+	return Result{Features: sel, ValError: bestErr, Evaluations: ev.Count()}, nil
+}

@@ -1,0 +1,136 @@
+// Package fs implements the feature selection methods the paper evaluates
+// (§2.2, §5): sequential greedy wrappers (forward and backward selection),
+// filters scored by mutual information and information gain ratio with the
+// retained count tuned by holdout validation, and the embedded
+// L1/L2-regularized logistic regression.
+//
+// All methods follow the paper's holdout protocol: models are trained on the
+// training split and subsets compared by their error on the validation
+// split; the caller reports final accuracy on the untouched test split.
+//
+// Wrapper search over Naive Bayes uses the decomposability fast path
+// (internal/ml/nb.Stats): sufficient statistics are tabulated once and every
+// candidate subset is evaluated without re-counting, so the cost of greedy
+// search is proportional to the number of (subset, validation-row) pairs
+// scored — which is exactly how the paper's runtimes scale with the number
+// of candidate features, preserving Figure 7's speedup shape.
+package fs
+
+import (
+	"fmt"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/ml"
+	"hamlet/internal/ml/nb"
+)
+
+// Result is the outcome of one feature selection run.
+type Result struct {
+	// Features are the selected design-matrix column indices, in the
+	// order the method chose them.
+	Features []int
+	// ValError is the validation error of the selected subset.
+	ValError float64
+	// Evaluations counts subset evaluations performed: a
+	// hardware-independent proxy for the method's runtime.
+	Evaluations int
+}
+
+// FeatureNames resolves the selected indices against a design matrix.
+func (r Result) FeatureNames(m *dataset.Design) []string {
+	names := make([]string, len(r.Features))
+	for i, f := range r.Features {
+		names[i] = m.Features[f].Name
+	}
+	return names
+}
+
+// Method is a feature selection algorithm.
+type Method interface {
+	// Name identifies the method in reports, e.g. "forward".
+	Name() string
+	// Select searches feature subsets of train/val for the learner.
+	Select(l ml.Learner, train, val *dataset.Design) (Result, error)
+}
+
+// Evaluator scores candidate feature subsets by validation error. The
+// generic implementation retrains via ml.Learner; the Naive Bayes
+// implementation reuses precomputed sufficient statistics.
+type Evaluator interface {
+	// Eval returns the validation error of a model trained on the subset.
+	Eval(features []int) (float64, error)
+	// Count returns the number of Eval calls so far.
+	Count() int
+}
+
+// NewEvaluator builds the best evaluator for the learner: the decomposable
+// fast path when l is Naive Bayes, otherwise generic retraining.
+func NewEvaluator(l ml.Learner, train, val *dataset.Design) Evaluator {
+	if nbl, ok := l.(*nb.Learner); ok {
+		return &nbEvaluator{
+			stats:  nb.NewStats(train),
+			alpha:  nbl.Alpha,
+			val:    val,
+			metric: ml.MetricFor(train.NumClasses),
+		}
+	}
+	return &genericEvaluator{l: l, train: train, val: val, metric: ml.MetricFor(train.NumClasses)}
+}
+
+type genericEvaluator struct {
+	l          ml.Learner
+	train, val *dataset.Design
+	metric     ml.Metric
+	count      int
+}
+
+func (e *genericEvaluator) Eval(features []int) (float64, error) {
+	e.count++
+	mod, err := e.l.Fit(e.train, features)
+	if err != nil {
+		return 0, err
+	}
+	return e.metric(ml.PredictAll(mod, e.val), e.val.Y), nil
+}
+
+func (e *genericEvaluator) Count() int { return e.count }
+
+type nbEvaluator struct {
+	stats  *nb.Stats
+	alpha  float64
+	val    *dataset.Design
+	metric ml.Metric
+	count  int
+}
+
+func (e *nbEvaluator) Eval(features []int) (float64, error) {
+	e.count++
+	mod, err := nb.ModelFromStats(e.stats, features, e.alpha)
+	if err != nil {
+		return 0, err
+	}
+	pred := make([]int32, e.val.NumRows())
+	for i := range pred {
+		pred[i] = mod.Predict(e.val, i)
+	}
+	return e.metric(pred, e.val.Y), nil
+}
+
+func (e *nbEvaluator) Count() int { return e.count }
+
+// checkDesigns validates that train and val agree on schema.
+func checkDesigns(train, val *dataset.Design) error {
+	if train == nil || val == nil {
+		return fmt.Errorf("fs: nil design matrix")
+	}
+	if train.NumFeatures() != val.NumFeatures() {
+		return fmt.Errorf("fs: train has %d features, val has %d", train.NumFeatures(), val.NumFeatures())
+	}
+	if train.NumClasses != val.NumClasses {
+		return fmt.Errorf("fs: train has %d classes, val has %d", train.NumClasses, val.NumClasses)
+	}
+	if train.NumRows() == 0 || val.NumRows() == 0 {
+		return fmt.Errorf("fs: empty split (train %d rows, val %d rows)", train.NumRows(), val.NumRows())
+	}
+	return nil
+}

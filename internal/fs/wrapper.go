@@ -1,0 +1,38 @@
+package fs
+
+import (
+	"hamlet/internal/dataset"
+	"hamlet/internal/ml"
+)
+
+// Forward is sequential greedy forward selection (§2.2): starting from the
+// empty set, repeatedly add the feature that most reduces validation error;
+// stop when no addition improves it.
+type Forward struct{}
+
+// Name implements Method.
+func (Forward) Name() string { return "forward" }
+
+// Select implements Method.
+func (Forward) Select(l ml.Learner, train, val *dataset.Design) (Result, error) {
+	if err := checkDesigns(train, val); err != nil {
+		return Result{}, err
+	}
+	return forwardWith(NewEvaluator(l, train, val), train.NumFeatures())
+}
+
+// Backward is sequential greedy backward selection (§2.2): starting from the
+// full set, repeatedly eliminate the feature whose removal most reduces
+// validation error; stop when no elimination improves it.
+type Backward struct{}
+
+// Name implements Method.
+func (Backward) Name() string { return "backward" }
+
+// Select implements Method.
+func (Backward) Select(l ml.Learner, train, val *dataset.Design) (Result, error) {
+	if err := checkDesigns(train, val); err != nil {
+		return Result{}, err
+	}
+	return backwardWith(NewEvaluator(l, train, val), train.NumFeatures())
+}

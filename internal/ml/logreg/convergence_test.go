@@ -1,0 +1,143 @@
+package logreg
+
+import (
+	"math"
+	"testing"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/ml"
+	"hamlet/internal/stats"
+)
+
+// logLoss computes the mean negative log likelihood of a model on a design.
+func logLoss(mod *Model, m *dataset.Design) float64 {
+	total := 0.0
+	for i := 0; i < m.NumRows(); i++ {
+		p := mod.Probs(m, i)[m.Y[i]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total -= math.Log(p)
+	}
+	return total / float64(m.NumRows())
+}
+
+// TestTrainingReducesLogLoss: more epochs must not increase the training
+// log loss on a learnable problem (SGD with decaying steps).
+func TestTrainingReducesLogLoss(t *testing.T) {
+	r := stats.NewRNG(9)
+	n := 1500
+	m := &dataset.Design{NumClasses: 2, Y: make([]int32, n)}
+	f := make([]int32, n)
+	for i := 0; i < n; i++ {
+		f[i] = int32(r.IntN(4))
+		y := int32(int(f[i]) % 2)
+		if !r.Bernoulli(0.9) {
+			y = 1 - y
+		}
+		m.Y[i] = y
+	}
+	m.Features = []dataset.Feature{{Name: "f", Card: 4, Data: f}}
+	losses := make([]float64, 0, 3)
+	for _, epochs := range []int{1, 5, 25} {
+		l := New(L2)
+		l.Config.Epochs = epochs
+		l.Config.Lambda = 0
+		mod, err := l.Fit(m, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, logLoss(mod.(*Model), m))
+	}
+	if losses[1] > losses[0]+1e-6 || losses[2] > losses[1]+1e-6 {
+		t.Fatalf("log loss not non-increasing across epochs: %v", losses)
+	}
+	// And the final loss must beat the prior-only entropy (≈ ln 2).
+	if losses[2] > 0.6 {
+		t.Fatalf("final log loss %v did not beat the prior", losses[2])
+	}
+}
+
+// TestCalibrationOnKnownConditional: trained probabilities approximate the
+// true conditional P(Y=1 | f) = 0.8 for f = 1, 0.2 otherwise.
+func TestCalibrationOnKnownConditional(t *testing.T) {
+	r := stats.NewRNG(13)
+	n := 20000
+	m := &dataset.Design{NumClasses: 2, Y: make([]int32, n)}
+	f := make([]int32, n)
+	for i := 0; i < n; i++ {
+		f[i] = int32(r.IntN(2))
+		p := 0.2
+		if f[i] == 1 {
+			p = 0.8
+		}
+		if r.Bernoulli(p) {
+			m.Y[i] = 1
+		}
+	}
+	m.Features = []dataset.Feature{{Name: "f", Card: 2, Data: f}}
+	l := New(L2)
+	l.Config.Lambda = 0
+	l.Config.Epochs = 40
+	mod, err := l.Fit(m, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := mod.(*Model)
+	// Find a row with f = 1 and one with f = 0.
+	var p1, p0 float64
+	for i := 0; i < n; i++ {
+		if f[i] == 1 {
+			p1 = lm.Probs(m, i)[1]
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		if f[i] == 0 {
+			p0 = lm.Probs(m, i)[1]
+			break
+		}
+	}
+	if math.Abs(p1-0.8) > 0.05 || math.Abs(p0-0.2) > 0.05 {
+		t.Fatalf("calibration off: P(1|f=1)=%v, P(1|f=0)=%v", p1, p0)
+	}
+}
+
+// TestLogregMatchesNBDirectionally: on conditionally independent data both
+// linear models should reach similar test error.
+func TestLogregGeneralizes(t *testing.T) {
+	r := stats.NewRNG(17)
+	n := 4000
+	m := &dataset.Design{NumClasses: 2, Y: make([]int32, n)}
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := 0; i < n; i++ {
+		m.Y[i] = int32(r.IntN(2))
+		a[i] = m.Y[i]
+		if !r.Bernoulli(0.8) {
+			a[i] = 1 - a[i]
+		}
+		b[i] = m.Y[i]
+		if !r.Bernoulli(0.7) {
+			b[i] = 1 - b[i]
+		}
+	}
+	m.Features = []dataset.Feature{
+		{Name: "a", Card: 2, Data: a},
+		{Name: "b", Card: 2, Data: b},
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	train := m.SelectRows(idx[:n/2])
+	test := m.SelectRows(idx[n/2:])
+	e, err := ml.Evaluate(New(L2), train, test, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bayes error here is ≈ 0.167 (combining 0.8/0.7 votes); allow slack.
+	if e > 0.23 {
+		t.Fatalf("test error %v, want ≈0.17", e)
+	}
+}

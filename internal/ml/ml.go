@@ -1,0 +1,81 @@
+// Package ml defines the classifier abstraction shared by Hamlet-Go's
+// models (Naive Bayes, logistic regression, TAN) and the error metrics the
+// paper's evaluation uses: zero-one error for binary targets and RMSE on the
+// ordinal class index for multi-class targets (§5.1).
+package ml
+
+import (
+	"fmt"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/stats"
+)
+
+// Model is a trained classifier instance: a prediction function over the
+// feature subset it was trained on. A model trained on design matrix columns
+// [i...] must be applied to design matrices with the same column layout
+// (train/validation/test splits of one materialized design satisfy this).
+type Model interface {
+	// Predict returns the predicted class of the given row.
+	Predict(m *dataset.Design, row int) int32
+}
+
+// Learner trains models on a feature subset of a design matrix. features
+// lists column indices into m.Features; an empty subset is legal and yields
+// a prior-only (majority-class) model.
+type Learner interface {
+	// Name identifies the learner (for reports), e.g. "naive-bayes".
+	Name() string
+	// Fit trains a model on the given rows.
+	Fit(m *dataset.Design, features []int) (Model, error)
+}
+
+// PredictAll applies the model to every row of the design matrix.
+func PredictAll(mod Model, m *dataset.Design) []int32 {
+	out := make([]int32, m.NumRows())
+	for i := range out {
+		out[i] = mod.Predict(m, i)
+	}
+	return out
+}
+
+// Metric scores predictions against labels; lower is better.
+type Metric func(pred, truth []int32) float64
+
+// MetricFor returns the paper's metric for a target with the given number of
+// classes: zero-one error when binary, RMSE on the class index otherwise.
+func MetricFor(numClasses int) Metric {
+	if numClasses <= 2 {
+		return stats.ZeroOneError
+	}
+	return stats.RMSE
+}
+
+// MetricName returns the display name of MetricFor(numClasses).
+func MetricName(numClasses int) string {
+	if numClasses <= 2 {
+		return "zero-one"
+	}
+	return "RMSE"
+}
+
+// Evaluate trains the learner on train and scores it on eval with the metric
+// implied by the target's cardinality.
+func Evaluate(l Learner, train, eval *dataset.Design, features []int) (float64, error) {
+	mod, err := l.Fit(train, features)
+	if err != nil {
+		return 0, fmt.Errorf("ml: fit %s: %w", l.Name(), err)
+	}
+	metric := MetricFor(train.NumClasses)
+	return metric(PredictAll(mod, eval), eval.Y), nil
+}
+
+// CheckFeatures validates that the feature indices are in range for m.
+func CheckFeatures(m *dataset.Design, features []int) error {
+	for _, f := range features {
+		if f < 0 || f >= m.NumFeatures() {
+			return fmt.Errorf("ml: feature index %d out of range [0,%d)", f, m.NumFeatures())
+		}
+	}
+	return nil
+}

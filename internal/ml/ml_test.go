@@ -1,0 +1,98 @@
+package ml
+
+import (
+	"testing"
+
+	"hamlet/internal/dataset"
+)
+
+// constModel predicts a fixed class.
+type constModel int32
+
+func (c constModel) Predict(m *dataset.Design, row int) int32 { return int32(c) }
+
+// constLearner returns constModel(0).
+type constLearner struct{}
+
+func (constLearner) Name() string { return "const" }
+func (constLearner) Fit(m *dataset.Design, features []int) (Model, error) {
+	if err := CheckFeatures(m, features); err != nil {
+		return nil, err
+	}
+	return constModel(0), nil
+}
+
+func design(n, classes int) *dataset.Design {
+	m := &dataset.Design{NumClasses: classes, Y: make([]int32, n)}
+	data := make([]int32, n)
+	for i := range data {
+		m.Y[i] = int32(i % classes)
+		data[i] = int32(i % 2)
+	}
+	m.Features = []dataset.Feature{{Name: "f", Card: 2, Data: data}}
+	return m
+}
+
+func TestMetricForSelectsByCardinality(t *testing.T) {
+	pred := []int32{0, 0, 2}
+	truth := []int32{0, 2, 2}
+	// Binary: zero-one.
+	if e := MetricFor(2)(pred, truth); e != 1.0/3 {
+		t.Fatalf("binary metric = %v", e)
+	}
+	// Multi-class: RMSE (sqrt((0+4+0)/3)).
+	if e := MetricFor(3)(pred, truth); e < 1.15 || e > 1.16 {
+		t.Fatalf("multiclass metric = %v", e)
+	}
+	if MetricName(2) != "zero-one" || MetricName(5) != "RMSE" {
+		t.Fatal("metric names")
+	}
+}
+
+func TestPredictAll(t *testing.T) {
+	m := design(5, 2)
+	out := PredictAll(constModel(1), m)
+	if len(out) != 5 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for _, v := range out {
+		if v != 1 {
+			t.Fatal("PredictAll broken")
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	m := design(10, 2)
+	// constModel(0) is right on the 5 even rows.
+	e, err := Evaluate(constLearner{}, m, m, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0.5 {
+		t.Fatalf("error = %v", e)
+	}
+}
+
+func TestEvaluatePropagatesFitError(t *testing.T) {
+	m := design(4, 2)
+	if _, err := Evaluate(constLearner{}, m, m, []int{9}); err == nil {
+		t.Fatal("bad feature index accepted")
+	}
+}
+
+func TestCheckFeatures(t *testing.T) {
+	m := design(4, 2)
+	if err := CheckFeatures(m, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFeatures(m, nil); err != nil {
+		t.Fatal("empty subset should be legal")
+	}
+	if err := CheckFeatures(m, []int{-1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := CheckFeatures(m, []int{1}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}

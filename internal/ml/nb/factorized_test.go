@@ -1,0 +1,134 @@
+package nb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/relational"
+	"hamlet/internal/stats"
+)
+
+// randomDataset builds a random normalized dataset with two attribute
+// tables (one open-domain) and a couple of home features.
+func randomDataset(seed uint64) *dataset.Dataset {
+	r := stats.NewRNG(seed)
+	nS := 50 + r.IntN(300)
+	nR1 := 2 + r.IntN(20)
+	nR2 := 2 + r.IntN(12)
+	mkAttr := func(name string, rows, feats int) *relational.Table {
+		t := relational.NewTable(name)
+		for f := 0; f < feats; f++ {
+			card := 2 + r.IntN(4)
+			data := make([]int32, rows)
+			for i := range data {
+				data[i] = int32(r.IntN(card))
+			}
+			t.MustAddColumn(&relational.Column{Name: name + string(rune('a'+f)), Card: card, Data: data})
+		}
+		return t
+	}
+	r1 := mkAttr("R1", nR1, 1+r.IntN(3))
+	r2 := mkAttr("R2", nR2, 1+r.IntN(3))
+	s := relational.NewTable("S")
+	y := make([]int32, nS)
+	xs := make([]int32, nS)
+	fk1 := make([]int32, nS)
+	fk2 := make([]int32, nS)
+	classes := 2 + r.IntN(3)
+	for i := 0; i < nS; i++ {
+		y[i] = int32(r.IntN(classes))
+		xs[i] = int32(r.IntN(3))
+		fk1[i] = int32(r.IntN(nR1))
+		fk2[i] = int32(r.IntN(nR2))
+	}
+	s.MustAddColumn(&relational.Column{Name: "Y", Card: classes, Data: y})
+	s.MustAddColumn(&relational.Column{Name: "XS", Card: 3, Data: xs})
+	s.MustAddColumn(&relational.Column{Name: "FK1", Card: nR1, Data: fk1})
+	s.MustAddColumn(&relational.Column{Name: "FK2", Card: nR2, Data: fk2})
+	return &dataset.Dataset{
+		Name:         "Rand",
+		Entity:       s,
+		Target:       "Y",
+		HomeFeatures: []string{"XS"},
+		Attrs: []dataset.AttributeTable{
+			{Table: r1, FK: "FK1", ClosedDomain: true},
+			{Table: r2, FK: "FK2", ClosedDomain: r.Bernoulli(0.5)},
+		},
+	}
+}
+
+// TestFactorizedStatsMatchMaterialized is the core correctness property:
+// statistics computed without the join must be bit-identical to statistics
+// tabulated over the materialized JoinAll design.
+func TestFactorizedStatsMatchMaterialized(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		d := randomDataset(seed)
+		factorized, err := StatsFromDataset(d)
+		if err != nil {
+			return false
+		}
+		design, err := d.Materialize(d.JoinAllPlan())
+		if err != nil {
+			return false
+		}
+		materialized := NewStats(design)
+		if factorized.N != materialized.N || factorized.NumClasses != materialized.NumClasses {
+			return false
+		}
+		if len(factorized.Counts) != len(materialized.Counts) {
+			return false
+		}
+		for c := range factorized.ClassCounts {
+			if factorized.ClassCounts[c] != materialized.ClassCounts[c] {
+				return false
+			}
+		}
+		for f := range factorized.Counts {
+			if factorized.Cards[f] != materialized.Cards[f] {
+				return false
+			}
+			for k := range factorized.Counts[f] {
+				if factorized.Counts[f][k] != materialized.Counts[f][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatalf("factorized statistics diverge from materialized: %v", err)
+	}
+}
+
+func TestFitFactorizedPredictsIdentically(t *testing.T) {
+	d := randomDataset(42)
+	design, err := d.Materialize(d.JoinAllPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	factorized, err := New().FitFactorized(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, design.NumFeatures())
+	for i := range all {
+		all[i] = i
+	}
+	direct, err := New().Fit(design, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < design.NumRows(); i++ {
+		if factorized.Predict(design, i) != direct.Predict(design, i) {
+			t.Fatalf("factorized and materialized models disagree at row %d", i)
+		}
+	}
+}
+
+func TestStatsFromDatasetValidates(t *testing.T) {
+	d := randomDataset(7)
+	d.Target = "Nope"
+	if _, err := StatsFromDataset(d); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}

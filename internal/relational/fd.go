@@ -1,0 +1,256 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FD is a functional dependency Det → Dep over a table's columns. The
+// paper's Appendix C (Corollary C.1) generalizes join-avoidance beyond KFK
+// dependencies: given a canonical acyclic set of FDs over the features,
+// every feature appearing in some dependent set is redundant — it can be
+// dropped a priori with its determinant acting as the representative,
+// exactly as the FK represents X_R.
+type FD struct {
+	// Det is the determinant attribute set.
+	Det []string
+	// Dep is the dependent attribute set.
+	Dep []string
+}
+
+// String renders the dependency as "A,B → C".
+func (f FD) String() string {
+	return fmt.Sprintf("%v → %v", f.Det, f.Dep)
+}
+
+// Validate checks that both sides are nonempty and disjoint.
+func (f FD) Validate() error {
+	if len(f.Det) == 0 || len(f.Dep) == 0 {
+		return fmt.Errorf("relational: FD needs nonempty determinant and dependent sets: %s", f)
+	}
+	det := make(map[string]bool, len(f.Det))
+	for _, a := range f.Det {
+		if det[a] {
+			return fmt.Errorf("relational: FD determinant repeats %q", a)
+		}
+		det[a] = true
+	}
+	seen := make(map[string]bool, len(f.Dep))
+	for _, a := range f.Dep {
+		if det[a] {
+			return fmt.Errorf("relational: FD %s has %q on both sides", f, a)
+		}
+		if seen[a] {
+			return fmt.Errorf("relational: FD dependent repeats %q", a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// HoldsFDSet reports whether every dependency in the set holds in the table
+// (multi-attribute determinants and dependents supported).
+func HoldsFDSet(t *Table, fds []FD) (bool, error) {
+	for _, fd := range fds {
+		if err := fd.Validate(); err != nil {
+			return false, err
+		}
+		detCols := make([]*Column, len(fd.Det))
+		for i, name := range fd.Det {
+			c := t.Column(name)
+			if c == nil {
+				return false, fmt.Errorf("relational: FD %s references missing column %q", fd, name)
+			}
+			detCols[i] = c
+		}
+		depCols := make([]*Column, len(fd.Dep))
+		for i, name := range fd.Dep {
+			c := t.Column(name)
+			if c == nil {
+				return false, fmt.Errorf("relational: FD %s references missing column %q", fd, name)
+			}
+			depCols[i] = c
+		}
+		seen := make(map[string]string)
+		detKey := make([]byte, 0, 4*len(detCols))
+		depKey := make([]byte, 0, 4*len(depCols))
+		for row := 0; row < t.NumRows(); row++ {
+			detKey = detKey[:0]
+			for _, c := range detCols {
+				v := c.Data[row]
+				detKey = append(detKey, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			depKey = depKey[:0]
+			for _, c := range depCols {
+				v := c.Data[row]
+				depKey = append(depKey, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			if prev, ok := seen[string(detKey)]; ok {
+				if prev != string(depKey) {
+					return false, nil
+				}
+			} else {
+				seen[string(detKey)] = string(depKey)
+			}
+		}
+	}
+	return true, nil
+}
+
+// AcyclicFDs reports whether the FD set is acyclic per the paper's
+// Definition C.1: build a digraph with an edge from each determinant
+// attribute to each dependent attribute; the set is acyclic iff that digraph
+// is.
+func AcyclicFDs(fds []FD) (bool, error) {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for _, fd := range fds {
+		if err := fd.Validate(); err != nil {
+			return false, err
+		}
+		for _, a := range fd.Det {
+			nodes[a] = true
+			for _, b := range fd.Dep {
+				nodes[b] = true
+				adj[a] = append(adj[a], b)
+			}
+		}
+	}
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(nodes))
+	var visit func(string) bool
+	visit = func(n string) bool {
+		switch state[n] {
+		case inStack:
+			return false
+		case done:
+			return true
+		}
+		state[n] = inStack
+		for _, m := range adj[n] {
+			if !visit(m) {
+				return false
+			}
+		}
+		state[n] = done
+		return true
+	}
+	// Deterministic iteration order for reproducible error behavior.
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !visit(n) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// RedundantFeatures applies Corollary C.1: given a canonical acyclic FD set
+// over a table's features, it returns the features that appear in some
+// dependent set — each is redundant and may be dropped a priori, with its
+// determinant acting as representative. The result is sorted and
+// deduplicated. It is an error if the FD set is cyclic.
+func RedundantFeatures(fds []FD) ([]string, error) {
+	ok, err := AcyclicFDs(fds)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("relational: Corollary C.1 requires an acyclic FD set")
+	}
+	set := make(map[string]bool)
+	for _, fd := range fds {
+		for _, a := range fd.Dep {
+			set[a] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Representatives returns, for each redundant feature, the union of
+// determinant attributes of the FDs that determine it — the features an
+// analyst keeps when dropping the redundant ones. Attributes that are
+// themselves redundant are resolved transitively to non-redundant roots
+// (possible because the set is acyclic).
+func Representatives(fds []FD) (map[string][]string, error) {
+	redundant, err := RedundantFeatures(fds)
+	if err != nil {
+		return nil, err
+	}
+	isRedundant := make(map[string]bool, len(redundant))
+	for _, a := range redundant {
+		isRedundant[a] = true
+	}
+	// direct[a] is the set of determinant attributes directly determining a.
+	direct := make(map[string]map[string]bool)
+	for _, fd := range fds {
+		for _, dep := range fd.Dep {
+			if direct[dep] == nil {
+				direct[dep] = make(map[string]bool)
+			}
+			for _, det := range fd.Det {
+				direct[dep][det] = true
+			}
+		}
+	}
+	var resolve func(string, map[string]bool, map[string]bool)
+	resolve = func(a string, acc map[string]bool, onPath map[string]bool) {
+		for det := range direct[a] {
+			if onPath[det] {
+				continue
+			}
+			if isRedundant[det] {
+				onPath[det] = true
+				resolve(det, acc, onPath)
+				delete(onPath, det)
+			} else {
+				acc[det] = true
+			}
+		}
+	}
+	out := make(map[string][]string, len(redundant))
+	for _, a := range redundant {
+		acc := make(map[string]bool)
+		resolve(a, acc, map[string]bool{a: true})
+		roots := make([]string, 0, len(acc))
+		for r := range acc {
+			roots = append(roots, r)
+		}
+		sort.Strings(roots)
+		out[a] = roots
+	}
+	return out, nil
+}
+
+// KFKAsFDs expresses the dependencies a set of KFK joins materializes in the
+// joined table T as an FD list: FK_i → X_Ri for each attribute table. This
+// is the bridge between the schema-level KFK view and the general FD view of
+// Corollary C.1.
+func KFKAsFDs(fks []ForeignKey, attrs map[string]*Table) ([]FD, error) {
+	var out []FD
+	for _, fk := range fks {
+		r, ok := attrs[fk.Refs]
+		if !ok {
+			return nil, fmt.Errorf("relational: unknown attribute table %q", fk.Refs)
+		}
+		dep := r.ColumnNames()
+		if len(dep) == 0 {
+			continue
+		}
+		out = append(out, FD{Det: []string{fk.Column}, Dep: dep})
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hamlet/internal/stats"
+)
+
+func TestFDValidate(t *testing.T) {
+	good := FD{Det: []string{"a"}, Dep: []string{"b", "c"}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []FD{
+		{Det: nil, Dep: []string{"b"}},
+		{Det: []string{"a"}, Dep: nil},
+		{Det: []string{"a"}, Dep: []string{"a"}},
+		{Det: []string{"a", "a"}, Dep: []string{"b"}},
+		{Det: []string{"a"}, Dep: []string{"b", "b"}},
+	}
+	for i, fd := range bad {
+		if err := fd.Validate(); err == nil {
+			t.Errorf("bad FD %d accepted: %s", i, fd)
+		}
+	}
+}
+
+func TestFDString(t *testing.T) {
+	fd := FD{Det: []string{"FK"}, Dep: []string{"Country"}}
+	if !strings.Contains(fd.String(), "FK") || !strings.Contains(fd.String(), "Country") {
+		t.Fatalf("String() = %q", fd.String())
+	}
+}
+
+func TestHoldsFDSetMultiAttribute(t *testing.T) {
+	tab := NewTable("T")
+	tab.MustAddColumn(mkCol("a", 2, 0, 0, 1, 1))
+	tab.MustAddColumn(mkCol("b", 2, 0, 1, 0, 1))
+	tab.MustAddColumn(mkCol("c", 4, 0, 1, 2, 3)) // c = 2a + b
+	ok, err := HoldsFDSet(tab, []FD{{Det: []string{"a", "b"}, Dep: []string{"c"}}})
+	if err != nil || !ok {
+		t.Fatalf("(a,b)→c should hold: %v %v", ok, err)
+	}
+	// a alone does not determine c.
+	ok, err = HoldsFDSet(tab, []FD{{Det: []string{"a"}, Dep: []string{"c"}}})
+	if err != nil || ok {
+		t.Fatalf("a→c should not hold: %v %v", ok, err)
+	}
+	// Missing columns and invalid FDs error out.
+	if _, err := HoldsFDSet(tab, []FD{{Det: []string{"zz"}, Dep: []string{"c"}}}); err == nil {
+		t.Fatal("missing determinant column accepted")
+	}
+	if _, err := HoldsFDSet(tab, []FD{{Det: []string{"a"}, Dep: []string{"zz"}}}); err == nil {
+		t.Fatal("missing dependent column accepted")
+	}
+	if _, err := HoldsFDSet(tab, []FD{{}}); err == nil {
+		t.Fatal("invalid FD accepted")
+	}
+}
+
+func TestAcyclicFDs(t *testing.T) {
+	acyclic := []FD{
+		{Det: []string{"FK"}, Dep: []string{"Country", "Revenue"}},
+		{Det: []string{"Country"}, Dep: []string{"Continent"}},
+	}
+	ok, err := AcyclicFDs(acyclic)
+	if err != nil || !ok {
+		t.Fatalf("acyclic set rejected: %v %v", ok, err)
+	}
+	cyclic := []FD{
+		{Det: []string{"a"}, Dep: []string{"b"}},
+		{Det: []string{"b"}, Dep: []string{"a"}},
+	}
+	ok, err = AcyclicFDs(cyclic)
+	if err != nil || ok {
+		t.Fatalf("cyclic set accepted: %v %v", ok, err)
+	}
+	if _, err := AcyclicFDs([]FD{{}}); err == nil {
+		t.Fatal("invalid FD accepted")
+	}
+	// Self-loop through a longer chain.
+	chain := []FD{
+		{Det: []string{"a"}, Dep: []string{"b"}},
+		{Det: []string{"b"}, Dep: []string{"c"}},
+		{Det: []string{"c"}, Dep: []string{"a"}},
+	}
+	if ok, _ := AcyclicFDs(chain); ok {
+		t.Fatal("3-cycle accepted")
+	}
+}
+
+// TestRedundantFeaturesCorollaryC1 exercises the paper's Corollary C.1: the
+// dependent-side features of an acyclic FD set are redundant.
+func TestRedundantFeaturesCorollaryC1(t *testing.T) {
+	fds := []FD{
+		{Det: []string{"FK"}, Dep: []string{"Country", "Revenue"}},
+		{Det: []string{"Country"}, Dep: []string{"Continent"}},
+	}
+	red, err := RedundantFeatures(fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Continent", "Country", "Revenue"}
+	if len(red) != len(want) {
+		t.Fatalf("redundant = %v", red)
+	}
+	for i := range want {
+		if red[i] != want[i] {
+			t.Fatalf("redundant = %v, want %v", red, want)
+		}
+	}
+	// Cyclic sets are rejected.
+	if _, err := RedundantFeatures([]FD{
+		{Det: []string{"a"}, Dep: []string{"b"}},
+		{Det: []string{"b"}, Dep: []string{"a"}},
+	}); err == nil {
+		t.Fatal("cyclic set accepted by RedundantFeatures")
+	}
+}
+
+func TestRepresentativesTransitive(t *testing.T) {
+	fds := []FD{
+		{Det: []string{"FK"}, Dep: []string{"Country", "Revenue"}},
+		{Det: []string{"Country"}, Dep: []string{"Continent"}},
+	}
+	reps, err := Representatives(fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continent resolves through the redundant Country to FK.
+	if len(reps["Continent"]) != 1 || reps["Continent"][0] != "FK" {
+		t.Fatalf("Continent representative = %v, want [FK]", reps["Continent"])
+	}
+	if len(reps["Country"]) != 1 || reps["Country"][0] != "FK" {
+		t.Fatalf("Country representative = %v", reps["Country"])
+	}
+	if len(reps["Revenue"]) != 1 || reps["Revenue"][0] != "FK" {
+		t.Fatalf("Revenue representative = %v", reps["Revenue"])
+	}
+}
+
+func TestRepresentativesMultiDeterminant(t *testing.T) {
+	fds := []FD{
+		{Det: []string{"a", "b"}, Dep: []string{"c"}},
+	}
+	reps, err := Representatives(fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps["c"]) != 2 || reps["c"][0] != "a" || reps["c"][1] != "b" {
+		t.Fatalf("c representative = %v, want [a b]", reps["c"])
+	}
+}
+
+func TestKFKAsFDs(t *testing.T) {
+	s, r := churnFixture()
+	_ = s
+	fds, err := KFKAsFDs([]ForeignKey{{Column: "EmployerID", Refs: "Employers"}},
+		map[string]*Table{"Employers": r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fds) != 1 || fds[0].Det[0] != "EmployerID" || len(fds[0].Dep) != 2 {
+		t.Fatalf("fds = %v", fds)
+	}
+	if _, err := KFKAsFDs([]ForeignKey{{Column: "x", Refs: "Nope"}}, nil); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	// Empty attribute tables contribute no FD.
+	empty := NewTable("Empty")
+	fds, err = KFKAsFDs([]ForeignKey{{Column: "f", Refs: "Empty"}}, map[string]*Table{"Empty": empty})
+	if err != nil || len(fds) != 0 {
+		t.Fatalf("empty table: fds = %v, err = %v", fds, err)
+	}
+}
+
+// TestJoinSatisfiesKFKFDs ties the pieces together: the FDs KFKAsFDs
+// predicts for a join must actually hold in the joined table (the formal
+// basis of Proposition 3.1).
+func TestJoinSatisfiesKFKFDs(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rr := stats.NewRNG(seed)
+		nR := 2 + rr.IntN(20)
+		nS := 20 + rr.IntN(100)
+		r := NewTable("R")
+		f1 := make([]int32, nR)
+		f2 := make([]int32, nR)
+		for i := range f1 {
+			f1[i] = int32(rr.IntN(3))
+			f2[i] = int32(rr.IntN(4))
+		}
+		r.MustAddColumn(&Column{Name: "F1", Card: 3, Data: f1})
+		r.MustAddColumn(&Column{Name: "F2", Card: 4, Data: f2})
+		s := NewTable("S")
+		fk := make([]int32, nS)
+		for i := range fk {
+			fk[i] = int32(rr.IntN(nR))
+		}
+		s.MustAddColumn(&Column{Name: "FK", Card: nR, Data: fk})
+		fks := []ForeignKey{{Column: "FK", Refs: "R"}}
+		attrs := map[string]*Table{"R": r}
+		joined, err := JoinAll(s, fks, attrs)
+		if err != nil {
+			return false
+		}
+		fds, err := KFKAsFDs(fks, attrs)
+		if err != nil {
+			return false
+		}
+		ok, err := HoldsFDSet(joined, fds)
+		return err == nil && ok
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

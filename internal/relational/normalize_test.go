@@ -1,0 +1,284 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hamlet/internal/stats"
+)
+
+func fdsFixture() []FD {
+	// The classic textbook schema: R(A,B,C,D) with A→B, B→C.
+	return []FD{
+		{Det: []string{"A"}, Dep: []string{"B"}},
+		{Det: []string{"B"}, Dep: []string{"C"}},
+	}
+}
+
+func TestClosure(t *testing.T) {
+	cl, err := Closure([]string{"A"}, fdsFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(cl, ",") != "A,B,C" {
+		t.Fatalf("A+ = %v", cl)
+	}
+	cl, err = Closure([]string{"B"}, fdsFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(cl, ",") != "B,C" {
+		t.Fatalf("B+ = %v", cl)
+	}
+	if _, err := Closure([]string{"A"}, []FD{{}}); err == nil {
+		t.Fatal("invalid FD accepted")
+	}
+}
+
+func TestIsSuperkey(t *testing.T) {
+	all := []string{"A", "B", "C", "D"}
+	ok, err := IsSuperkey([]string{"A", "D"}, all, fdsFixture())
+	if err != nil || !ok {
+		t.Fatalf("AD should be a superkey: %v %v", ok, err)
+	}
+	ok, err = IsSuperkey([]string{"A"}, all, fdsFixture())
+	if err != nil || ok {
+		t.Fatalf("A should not be a superkey (misses D): %v %v", ok, err)
+	}
+}
+
+func TestCandidateKeysSimple(t *testing.T) {
+	all := []string{"A", "B", "C", "D"}
+	keys, err := CandidateKeys(all, fdsFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || strings.Join(keys[0], ",") != "A,D" {
+		t.Fatalf("keys = %v, want [[A D]]", keys)
+	}
+}
+
+func TestCandidateKeysMultiple(t *testing.T) {
+	// R(A,B) with A→B and B→A: both A and B are candidate keys.
+	fds := []FD{
+		{Det: []string{"A"}, Dep: []string{"B"}},
+		{Det: []string{"B"}, Dep: []string{"A"}},
+	}
+	keys, err := CandidateKeys([]string{"A", "B"}, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v, want two singletons", keys)
+	}
+}
+
+func TestCandidateKeysValidation(t *testing.T) {
+	if _, err := CandidateKeys([]string{"A"}, []FD{{Det: []string{"Z"}, Dep: []string{"A"}}}); err == nil {
+		t.Fatal("FD over unknown attribute accepted")
+	}
+}
+
+func TestMinimalCoverRemovesRedundancy(t *testing.T) {
+	// A→B, B→C, A→C: the last is implied and must be removed.
+	fds := []FD{
+		{Det: []string{"A"}, Dep: []string{"B"}},
+		{Det: []string{"B"}, Dep: []string{"C"}},
+		{Det: []string{"A"}, Dep: []string{"C"}},
+	}
+	cover, err := MinimalCover(fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v, want 2 FDs", cover)
+	}
+}
+
+func TestMinimalCoverRemovesExtraneousLHS(t *testing.T) {
+	// A→B plus AB→C: B is extraneous in AB→C (A+ ⊇ AB so A→C suffices).
+	fds := []FD{
+		{Det: []string{"A"}, Dep: []string{"B"}},
+		{Det: []string{"A", "B"}, Dep: []string{"C"}},
+	}
+	cover, err := MinimalCover(fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fd := range cover {
+		if fd.Dep[0] == "C" && len(fd.Det) != 1 {
+			t.Fatalf("extraneous attribute not removed: %v", cover)
+		}
+	}
+}
+
+func TestMinimalCoverSplitsRHS(t *testing.T) {
+	cover, err := MinimalCover([]FD{{Det: []string{"A"}, Dep: []string{"B", "C"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 2 || len(cover[0].Dep) != 1 || len(cover[1].Dep) != 1 {
+		t.Fatalf("cover = %v", cover)
+	}
+}
+
+func TestDecomposeBCNFTextbook(t *testing.T) {
+	// R(A,B,C,D), A→B, B→C: BCNF decomposition should separate the
+	// transitive chain, e.g. {B,C}, {A,B}, {A,D}.
+	schemas, err := DecomposeBCNF("R", []string{"A", "B", "C", "D"}, fdsFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemas) != 3 {
+		t.Fatalf("schemas = %v", schemas)
+	}
+	joined := make([]string, len(schemas))
+	for i, s := range schemas {
+		joined[i] = strings.Join(s.Attrs, "")
+	}
+	got := strings.Join(joined, "|")
+	if got != "AB|AD|BC" {
+		t.Fatalf("decomposition = %v", got)
+	}
+}
+
+func TestDecomposeBCNFNoViolation(t *testing.T) {
+	// Already in BCNF: key → rest.
+	fds := []FD{{Det: []string{"K"}, Dep: []string{"X", "Y"}}}
+	schemas, err := DecomposeBCNF("R", []string{"K", "X", "Y"}, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemas) != 1 || strings.Join(schemas[0].Attrs, "") != "KXY" {
+		t.Fatalf("schemas = %v", schemas)
+	}
+}
+
+// instance materializes a table consistent with A→B→C plus a free D.
+func fdInstance(n, cardA int, seed uint64) *Table {
+	r := stats.NewRNG(seed)
+	bOfA := make([]int32, cardA)
+	cOfB := make([]int32, 4)
+	for i := range bOfA {
+		bOfA[i] = int32(r.IntN(4))
+	}
+	for i := range cOfB {
+		cOfB[i] = int32(r.IntN(3))
+	}
+	a := make([]int32, n)
+	b := make([]int32, n)
+	c := make([]int32, n)
+	d := make([]int32, n)
+	for i := 0; i < n; i++ {
+		a[i] = int32(r.IntN(cardA))
+		b[i] = bOfA[a[i]]
+		c[i] = cOfB[b[i]]
+		d[i] = int32(r.IntN(5))
+	}
+	t := NewTable("R")
+	t.MustAddColumn(&Column{Name: "A", Card: cardA, Data: a})
+	t.MustAddColumn(&Column{Name: "B", Card: 4, Data: b})
+	t.MustAddColumn(&Column{Name: "C", Card: 3, Data: c})
+	t.MustAddColumn(&Column{Name: "D", Card: 5, Data: d})
+	return t
+}
+
+func TestLosslessJoinOnBCNFDecomposition(t *testing.T) {
+	tab := fdInstance(200, 8, 3)
+	// Confirm the FDs hold on the instance.
+	ok, err := HoldsFDSet(tab, fdsFixture())
+	if err != nil || !ok {
+		t.Fatalf("fixture violates its FDs: %v %v", ok, err)
+	}
+	schemas, err := DecomposeBCNF("R", []string{"A", "B", "C", "D"}, fdsFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = LosslessJoin(tab, schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("BCNF decomposition is not lossless on the instance")
+	}
+}
+
+func TestLosslessJoinDetectsLossyDecomposition(t *testing.T) {
+	tab := fdInstance(200, 8, 5)
+	// {A,B} and {C,D} share nothing: joining them is a cross product,
+	// which (generically) fabricates rows → lossy.
+	lossy := []Schema{
+		{Name: "R1", Attrs: []string{"A", "B"}},
+		{Name: "R2", Attrs: []string{"C", "D"}},
+	}
+	ok, err := LosslessJoin(tab, lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("cross-product decomposition reported lossless")
+	}
+}
+
+func TestLosslessJoinErrors(t *testing.T) {
+	tab := fdInstance(10, 4, 7)
+	if _, err := LosslessJoin(tab, nil); err == nil {
+		t.Fatal("empty decomposition accepted")
+	}
+	if _, err := LosslessJoin(tab, []Schema{{Name: "X", Attrs: []string{"Nope"}}}); err == nil {
+		t.Fatal("schema over missing column accepted")
+	}
+}
+
+// TestBCNFDecompositionLosslessProperty: for random FD-respecting instances,
+// the violation-driven decomposition must always be lossless.
+func TestBCNFDecompositionLosslessProperty(t *testing.T) {
+	schemas, err := DecomposeBCNF("R", []string{"A", "B", "C", "D"}, fdsFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(seed uint64) bool {
+		tab := fdInstance(100, 6, seed)
+		ok, err := LosslessJoin(tab, schemas)
+		return err == nil && ok
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposeKFKShape: decomposing the paper's joined table T recovers the
+// entity/attribute-table split — the inverse of the KFK join.
+func TestDecomposeKFKShape(t *testing.T) {
+	// T(SID, Y, XS, FK, XR1, XR2) with SID the key and FK → XR1, XR2.
+	all := []string{"SID", "Y", "XS", "FK", "XR1", "XR2"}
+	fds := []FD{
+		{Det: []string{"SID"}, Dep: []string{"Y", "XS", "FK"}},
+		{Det: []string{"FK"}, Dep: []string{"XR1", "XR2"}},
+	}
+	schemas, err := DecomposeBCNF("T", all, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemas) != 2 {
+		t.Fatalf("schemas = %v, want entity + attribute table", schemas)
+	}
+	var hasAttr, hasEntity bool
+	for _, s := range schemas {
+		sig := strings.Join(s.Attrs, ",")
+		if sig == "FK,XR1,XR2" {
+			hasAttr = true
+		}
+		if sig == "FK,SID,XS,Y" {
+			hasEntity = true
+		}
+	}
+	if !hasAttr || !hasEntity {
+		t.Fatalf("decomposition = %v", schemas)
+	}
+	// And SID closure covers everything (it is the key of T).
+	ok, err := IsSuperkey([]string{"SID"}, all, fds)
+	if err != nil || !ok {
+		t.Fatal("SID should be a superkey of T")
+	}
+}

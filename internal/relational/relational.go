@@ -1,0 +1,209 @@
+// Package relational implements the minimal in-memory relational engine that
+// Hamlet-Go's normalized datasets live in: columnar tables of nominal
+// (categorical) features with known finite domains, primary keys, key–foreign
+// key (KFK) references, equi-joins, projections, and functional-dependency
+// checks.
+//
+// The design follows the paper's setting (§2.1): every feature, including the
+// target and every foreign key, is a discrete random variable with a known
+// closed domain. Category values are stored as dense int32 codes in the range
+// [0, Card). Attribute-table primary keys (RID) are implicit: the RID of a
+// row is its index, so a foreign-key column in the entity table holds row
+// indices into the referenced attribute table. This makes the KFK equi-join a
+// gather, which is both faithful to the paper's semantics and fast.
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column is a named nominal feature column: a dense vector of category codes
+// together with the cardinality of its closed domain.
+type Column struct {
+	// Name identifies the column within its table; names are unique per
+	// table and, by convention in Hamlet-Go, globally unique per dataset
+	// (as in the paper's schemas, e.g. SrcCity vs DestCity).
+	Name string
+	// Card is the size of the closed domain; valid codes are [0, Card).
+	Card int
+	// Data holds one code per row.
+	Data []int32
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int { return len(c.Data) }
+
+// Validate checks that every code is inside the declared domain.
+func (c *Column) Validate() error {
+	if c.Card <= 0 {
+		return fmt.Errorf("relational: column %q has nonpositive cardinality %d", c.Name, c.Card)
+	}
+	for i, v := range c.Data {
+		if v < 0 || int(v) >= c.Card {
+			return fmt.Errorf("relational: column %q row %d has code %d outside domain [0,%d)", c.Name, i, v, c.Card)
+		}
+	}
+	return nil
+}
+
+// clone returns a deep copy of the column.
+func (c *Column) clone() *Column {
+	d := make([]int32, len(c.Data))
+	copy(d, c.Data)
+	return &Column{Name: c.Name, Card: c.Card, Data: d}
+}
+
+// Table is a collection of equal-length columns. Row identity is positional:
+// the i-th row of the table is the i-th entry of each column. For attribute
+// tables the row index doubles as the primary key (RID).
+type Table struct {
+	// Name is the table's name, e.g. "Employers".
+	Name   string
+	cols   []*Column
+	byName map[string]int
+	rows   int
+}
+
+// NewTable creates an empty table with the given name.
+func NewTable(name string) *Table {
+	return &Table{Name: name, byName: make(map[string]int), rows: -1}
+}
+
+// AddColumn appends a column to the table. The first column fixes the row
+// count; subsequent columns must match it. Column names must be unique.
+func (t *Table) AddColumn(c *Column) error {
+	if c == nil {
+		return fmt.Errorf("relational: nil column added to table %q", t.Name)
+	}
+	if _, dup := t.byName[c.Name]; dup {
+		return fmt.Errorf("relational: duplicate column %q in table %q", c.Name, t.Name)
+	}
+	if t.rows < 0 {
+		t.rows = c.Len()
+	} else if c.Len() != t.rows {
+		return fmt.Errorf("relational: column %q has %d rows, table %q has %d", c.Name, c.Len(), t.Name, t.rows)
+	}
+	t.byName[c.Name] = len(t.cols)
+	t.cols = append(t.cols, c)
+	return nil
+}
+
+// MustAddColumn is AddColumn that panics on error, for use in construction
+// code (generators, tests) where a failure is a programming error.
+func (t *Table) MustAddColumn(c *Column) {
+	if err := t.AddColumn(c); err != nil {
+		panic(err)
+	}
+}
+
+// NumRows returns the number of rows; an empty table (no columns) has 0.
+func (t *Table) NumRows() int {
+	if t.rows < 0 {
+		return 0
+	}
+	return t.rows
+}
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Columns returns the table's columns in declaration order. The returned
+// slice must not be modified.
+func (t *Table) Columns() []*Column { return t.cols }
+
+// Column returns the named column, or nil if absent.
+func (t *Table) Column(name string) *Column {
+	if i, ok := t.byName[name]; ok {
+		return t.cols[i]
+	}
+	return nil
+}
+
+// HasColumn reports whether the table has a column with the given name.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.byName[name]
+	return ok
+}
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Validate checks every column's domain and the rectangular shape.
+func (t *Table) Validate() error {
+	for _, c := range t.cols {
+		if c.Len() != t.NumRows() {
+			return fmt.Errorf("relational: ragged table %q: column %q has %d rows, want %d", t.Name, c.Name, c.Len(), t.NumRows())
+		}
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("table %q: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+// Project returns a new table containing only the named columns, sharing the
+// underlying data vectors (projection is zero-copy).
+func (t *Table) Project(names ...string) (*Table, error) {
+	out := NewTable(t.Name)
+	for _, n := range names {
+		c := t.Column(n)
+		if c == nil {
+			return nil, fmt.Errorf("relational: project: no column %q in table %q", n, t.Name)
+		}
+		if err := out.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SelectRows returns a new table containing only the rows at the given
+// indices, in order. Data is copied.
+func (t *Table) SelectRows(idx []int) (*Table, error) {
+	out := NewTable(t.Name)
+	for _, c := range t.cols {
+		data := make([]int32, len(idx))
+		for j, i := range idx {
+			if i < 0 || i >= c.Len() {
+				return nil, fmt.Errorf("relational: select: row %d out of range [0,%d)", i, c.Len())
+			}
+			data[j] = c.Data[i]
+		}
+		if err := out.AddColumn(&Column{Name: c.Name, Card: c.Card, Data: data}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := NewTable(t.Name)
+	for _, c := range t.cols {
+		out.MustAddColumn(c.clone())
+	}
+	return out
+}
+
+// String renders a compact schema description, e.g.
+// "Employers(Country:190, Revenue:10) [1000 rows]".
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString(t.Name)
+	b.WriteByte('(')
+	for i, c := range t.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%d", c.Name, c.Card)
+	}
+	fmt.Fprintf(&b, ") [%d rows]", t.NumRows())
+	return b.String()
+}

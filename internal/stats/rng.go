@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is the deterministic random source used throughout Hamlet-Go. It wraps
+// math/rand/v2's PCG generator so that every experiment is exactly
+// reproducible from an explicit pair of 64-bit seeds.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed. The second PCG
+// word is a fixed golden-ratio constant so that adjacent seeds produce
+// decorrelated streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))}
+}
+
+// Split derives an independent child stream from this generator. Each call
+// consumes two words from the parent, so the sequence of children is itself
+// deterministic.
+func (r *RNG) Split() *RNG {
+	return &RNG{rand.New(rand.NewPCG(r.Uint64(), r.Uint64()))}
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Categorical samples an index from the (not necessarily normalized)
+// nonnegative weight vector. It panics if the weights are empty or sum to a
+// nonpositive value: callers construct these vectors and an invalid one is a
+// programming error, not a data error.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("stats: Categorical requires a nonempty weight vector with positive mass")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm fills and returns a permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Zipf returns a sampler over [0, n) with Zipfian probabilities
+// P(i) ∝ 1/(i+1)^s. The paper's Appendix D uses this as the "benign skew"
+// distribution for foreign keys. The cumulative weights are precomputed so
+// sampling is O(log n).
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf constructs a Zipf sampler over n categories with skew parameter s.
+// s = 0 degenerates to the uniform distribution; larger s concentrates mass
+// on low-index categories. It panics if n <= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf requires n > 0")
+	}
+	cum := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += 1.0 / pow(float64(i+1), s)
+		cum[i] = acc
+	}
+	return &Zipf{cum: cum}
+}
+
+// Probs returns the normalized probability vector of the sampler.
+func (z *Zipf) Probs() []float64 {
+	n := len(z.cum)
+	total := z.cum[n-1]
+	p := make([]float64, n)
+	prev := 0.0
+	for i, c := range z.cum {
+		p[i] = (c - prev) / total
+		prev = c
+	}
+	return p
+}
+
+// Sample draws one category index.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pow wraps math.Pow with fast paths for the common exponents used by the
+// samplers at construction time.
+func pow(base, exp float64) float64 {
+	switch exp {
+	case 0:
+		return 1
+	case 1:
+		return base
+	}
+	return math.Pow(base, exp)
+}
+
+// NeedleAndThread is the paper's malign-skew foreign-key distribution
+// (Appendix D, Figure 13(B)): one "needle" FK value carries probability mass
+// p and maps to one value of the predictive foreign feature (and hence one Y
+// value); the remaining mass 1−p is spread uniformly over the other n−1 FK
+// values, all of which map to the other foreign-feature value.
+type NeedleAndThread struct {
+	// N is the foreign-key domain size (n_R).
+	N int
+	// NeedleProb is the probability mass on the needle value (index 0).
+	NeedleProb float64
+}
+
+// Sample draws an FK index: 0 is the needle, 1..N-1 the thread.
+func (d NeedleAndThread) Sample(r *RNG) int {
+	if r.Float64() < d.NeedleProb {
+		return 0
+	}
+	if d.N <= 1 {
+		return 0
+	}
+	return 1 + r.IntN(d.N-1)
+}
+
+// Probs returns the full probability vector of the distribution.
+func (d NeedleAndThread) Probs() []float64 {
+	p := make([]float64, d.N)
+	if d.N == 0 {
+		return p
+	}
+	p[0] = d.NeedleProb
+	if d.N > 1 {
+		rest := (1 - d.NeedleProb) / float64(d.N-1)
+		for i := 1; i < d.N; i++ {
+			p[i] = rest
+		}
+	} else {
+		p[0] = 1
+	}
+	return p
+}

@@ -1,0 +1,267 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical words of 64", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(9)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling streams matched on %d of 64 words", same)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := NewRNG(123)
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	f := float64(hits) / float64(n)
+	if math.Abs(f-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", f)
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	r := NewRNG(5)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Fatalf("weight ratio = %v, want ≈3", ratio)
+	}
+}
+
+func TestCategoricalPanicsOnInvalid(t *testing.T) {
+	r := NewRNG(1)
+	for _, w := range [][]float64{nil, {}, {0, 0}, {-1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Categorical(%v) did not panic", w)
+				}
+			}()
+			r.Categorical(w)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(77)
+	if err := quick.Check(func(seed uint64) bool {
+		n := int(seed%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(4, 0)
+	for i, p := range z.Probs() {
+		if math.Abs(p-0.25) > 1e-12 {
+			t.Fatalf("Zipf(s=0) prob[%d] = %v, want 0.25", i, p)
+		}
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	z := NewZipf(10, 2)
+	probs := z.Probs()
+	for i := 1; i < len(probs); i++ {
+		if probs[i] > probs[i-1] {
+			t.Fatalf("Zipf probabilities not decreasing at %d: %v", i, probs)
+		}
+	}
+	if probs[0] < 0.6 {
+		t.Fatalf("Zipf(s=2, n=10) head mass = %v, expected dominant head", probs[0])
+	}
+}
+
+func TestZipfSampleMatchesProbs(t *testing.T) {
+	r := NewRNG(31)
+	z := NewZipf(6, 1)
+	probs := z.Probs()
+	counts := make([]int, 6)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for i, p := range probs {
+		f := float64(counts[i]) / n
+		if math.Abs(f-p) > 0.01 {
+			t.Fatalf("Zipf empirical[%d]=%v vs theoretical %v", i, f, p)
+		}
+	}
+}
+
+func TestZipfPanicsOnNonpositiveN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0, 1) did not panic")
+		}
+	}()
+	NewZipf(0, 1)
+}
+
+func TestNeedleAndThreadProbs(t *testing.T) {
+	d := NeedleAndThread{N: 5, NeedleProb: 0.5}
+	p := d.Probs()
+	if p[0] != 0.5 {
+		t.Fatalf("needle prob = %v", p[0])
+	}
+	for i := 1; i < 5; i++ {
+		if math.Abs(p[i]-0.125) > 1e-12 {
+			t.Fatalf("thread prob[%d] = %v, want 0.125", i, p[i])
+		}
+	}
+}
+
+func TestNeedleAndThreadSample(t *testing.T) {
+	r := NewRNG(41)
+	d := NeedleAndThread{N: 8, NeedleProb: 0.4}
+	counts := make([]int, 8)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	if f := float64(counts[0]) / n; math.Abs(f-0.4) > 0.02 {
+		t.Fatalf("needle frequency = %v, want ≈0.4", f)
+	}
+	for i := 1; i < 8; i++ {
+		if counts[i] == 0 {
+			t.Fatalf("thread value %d never sampled", i)
+		}
+	}
+}
+
+func TestNeedleAndThreadSingleton(t *testing.T) {
+	r := NewRNG(1)
+	d := NeedleAndThread{N: 1, NeedleProb: 0.2}
+	for i := 0; i < 10; i++ {
+		if d.Sample(r) != 0 {
+			t.Fatal("singleton distribution must always sample 0")
+		}
+	}
+	if p := d.Probs(); p[0] != 1 {
+		t.Fatalf("singleton prob = %v, want 1", p[0])
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, y); !approxEq(r, 1, 1e-12) {
+		t.Fatalf("perfect positive correlation = %v", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, neg); !approxEq(r, -1, 1e-12) {
+		t.Fatalf("perfect negative correlation = %v", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if r := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Fatalf("zero-variance correlation = %v, want 0", r)
+	}
+	if r := Pearson([]float64{1}, []float64{2}); r != 0 {
+		t.Fatalf("single-point correlation = %v, want 0", r)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rr := NewRNG(seed)
+		n := 2 + rr.IntN(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rr.Float64()
+			y[i] = rr.Float64()
+		}
+		r := Pearson(x, y)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approxEq(m, 5, 1e-12) {
+		t.Fatalf("mean = %v", m)
+	}
+	if v := Variance(xs); !approxEq(v, 4, 1e-12) {
+		t.Fatalf("variance = %v", v)
+	}
+	if s := StdDev(xs); !approxEq(s, 2, 1e-12) {
+		t.Fatalf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate mean/variance should be 0")
+	}
+}
+
+func TestRMSEAndZeroOne(t *testing.T) {
+	pred := []int32{1, 2, 3, 4}
+	truth := []int32{1, 2, 2, 2}
+	if e := ZeroOneError(pred, truth); !approxEq(e, 0.5, 1e-12) {
+		t.Fatalf("zero-one = %v", e)
+	}
+	// RMSE: sqrt((0+0+1+4)/4) = sqrt(1.25).
+	if e := RMSE(pred, truth); !approxEq(e, math.Sqrt(1.25), 1e-12) {
+		t.Fatalf("rmse = %v", e)
+	}
+	if RMSE(nil, nil) != 0 || ZeroOneError(nil, nil) != 0 {
+		t.Fatal("empty error metrics should be 0")
+	}
+}

@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"hamlet/internal/core"
+	"hamlet/internal/stats"
+)
+
+// TestAllMimicsPreserveTupleRatiosAcrossScales: the decision rules consume
+// tuple ratios, so scaling must preserve them for every attribute table of
+// every mimic (within rounding of small tables).
+func TestAllMimicsPreserveTupleRatiosAcrossScales(t *testing.T) {
+	for _, spec := range Mimics() {
+		ref := make(map[string]float64)
+		for _, a := range spec.Attrs {
+			ref[a.Name] = float64(spec.Rows/2) / float64(a.Rows)
+		}
+		for _, scale := range []float64{0.05, 0.2} {
+			d, err := spec.Generate(scale, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nTrain := d.NumRows() / 2
+			for _, at := range d.Attrs {
+				if at.Table.NumRows() <= 8 {
+					// Tables clamped by the 8-row generation floor
+					// cannot preserve TR exactly; their true and scaled
+					// TRs are both far beyond τ, so verdicts hold.
+					continue
+				}
+				tr, err := core.TupleRatio(nTrain, at.Table.NumRows())
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := ref[at.Table.Name]
+				// Small tables round; allow 35% relative slack there,
+				// 10% elsewhere.
+				slack := 0.10
+				if at.Table.NumRows() < 50 {
+					slack = 0.35
+				}
+				if math.Abs(tr-want) > slack*want {
+					t.Errorf("%s/%s at scale %v: TR = %.1f, want ≈%.1f",
+						spec.Name, at.Table.Name, scale, tr, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMimicVerdictsStableAcrossSeeds: the advisor's avoid/keep split is a
+// property of the schema statistics, so it must not depend on the
+// generation seed.
+func TestMimicVerdictsStableAcrossSeeds(t *testing.T) {
+	adv := core.NewAdvisor()
+	for _, spec := range Mimics() {
+		var ref []bool
+		for seed := uint64(1); seed <= 3; seed++ {
+			d, err := spec.Generate(0.02, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decs, err := adv.Decide(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := make([]bool, len(decs))
+			for i, dec := range decs {
+				cur[i] = dec.Considered && dec.Avoid
+			}
+			if ref == nil {
+				ref = cur
+				continue
+			}
+			for i := range cur {
+				if cur[i] != ref[i] {
+					t.Errorf("%s: verdict for table %d flipped across seeds", spec.Name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWorldLabelMarginalBalanced: scenario OneXr draws X_r roughly uniformly
+// (R cells are fair coins), so P(Y) should not be degenerate; the entropy
+// guard must not trip on unskewed simulation data.
+func TestWorldLabelMarginalBalanced(t *testing.T) {
+	w, err := NewWorld(SimConfig{Scenario: OneXr, DS: 2, DR: 4, NR: 40, P: 0.1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.Sample(10000, stats.NewRNG(5))
+	hy := stats.Entropy(m.Y, 2)
+	if hy < core.EntropyGuardBits {
+		t.Fatalf("H(Y) = %v on unskewed simulation data; guard would misfire", hy)
+	}
+}
+
+// TestMimicFDHoldsForAllAttributeTables: every mimic's materialized design
+// must satisfy FK → F for every foreign feature (the structural fact all
+// the theory rests on).
+func TestMimicFDHoldsForAllAttributeTables(t *testing.T) {
+	for _, spec := range Mimics() {
+		d, err := spec.Generate(0.01, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := d.Materialize(d.JoinAllPlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, at := range d.Attrs {
+			fkIdx := m.FeatureIndex(at.FK)
+			if fkIdx < 0 {
+				if !at.ClosedDomain {
+					continue // open-domain FKs are not features
+				}
+				t.Fatalf("%s: FK %s missing from design", spec.Name, at.FK)
+			}
+			fk := m.Features[fkIdx]
+			for _, col := range at.Table.ColumnNames() {
+				ci := m.FeatureIndex(col)
+				if ci < 0 {
+					t.Fatalf("%s: foreign feature %s missing", spec.Name, col)
+				}
+				seen := make(map[int32]int32)
+				for row := 0; row < m.NumRows(); row++ {
+					k := fk.Data[row]
+					v := m.Features[ci].Data[row]
+					if prev, ok := seen[k]; ok && prev != v {
+						t.Fatalf("%s: FD %s→%s violated", spec.Name, at.FK, col)
+					} else if !ok {
+						seen[k] = v
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package synth
+
+import (
+	"fmt"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/relational"
+	"hamlet/internal/stats"
+)
+
+// The paper evaluates on seven real normalized datasets (Figure 6) that are
+// not redistributable here. This file generates schema-faithful mimics: each
+// mimic reproduces the dataset's published statistics — number of classes,
+// n_S, d_S, k, k', (n_Ri, d_Ri), and which FKs have closed domains — and
+// plants a ground-truth concept consistent with the paper's observed
+// outcome on that dataset (which joins were safe to avoid, and where
+// avoidance blows up the error). Sizes scale linearly so the tuple ratios,
+// which drive every decision rule, are preserved exactly at any scale.
+
+// MimicFeature describes one generated feature column.
+type MimicFeature struct {
+	// Name is the column name (taken from the paper's schema listing).
+	Name string
+	// Card is the domain size after the paper's equal-width binning.
+	Card int
+}
+
+// MimicAttr describes one attribute table of a mimic and its planted signal.
+type MimicAttr struct {
+	// Name is the table name, FK the referencing entity-table column.
+	Name, FK string
+	// Rows is n_Ri at scale 1 (the paper's row count).
+	Rows int
+	// Features lists the table's d_Ri feature columns.
+	Features []MimicFeature
+	// Closed records whether the FK domain is closed (Figure 6's k').
+	Closed bool
+	// FKSignal is the mixture weight of the per-RID latent label: a
+	// concept at the granularity of the foreign key itself, which the FK
+	// represents losslessly (joins safe to avoid carry their signal here).
+	FKSignal float64
+	// FeatureSignal is the mixture weight of the table's first feature
+	// column: a concept carried by a small-domain foreign feature, which
+	// the FK can only represent with |D_FK|-sized variance (unsafe joins
+	// carry their signal here).
+	FeatureSignal float64
+}
+
+// MimicSpec describes one dataset mimic.
+type MimicSpec struct {
+	// Name is the dataset name as in Figure 6.
+	Name string
+	// Classes is #Y.
+	Classes int
+	// Rows is n_S at scale 1.
+	Rows int
+	// Home lists the d_S entity-table features.
+	Home []MimicFeature
+	// HomeSignal is the mixture weight per home feature (0 = pure noise).
+	HomeSignal []float64
+	// Attrs lists the attribute tables.
+	Attrs []MimicAttr
+	// Noise is the probability that a label is replaced by a uniformly
+	// random class, bounding achievable accuracy away from zero error.
+	Noise float64
+}
+
+// Stats reports the Figure 6 statistics of the spec at the given scale.
+func (s MimicSpec) Stats(scale float64) (nS int, dS, k, kPrime int, attr []string) {
+	nS = scaled(s.Rows, scale)
+	dS = len(s.Home)
+	k = len(s.Attrs)
+	for _, a := range s.Attrs {
+		if a.Closed {
+			kPrime++
+		}
+		attr = append(attr, fmt.Sprintf("(%d, %d)", scaled(a.Rows, scale), len(a.Features)))
+	}
+	return nS, dS, k, kPrime, attr
+}
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// feat is shorthand for constructing feature lists.
+func feat(name string, card int) MimicFeature { return MimicFeature{Name: name, Card: card} }
+
+// Mimics returns the seven specs in the paper's Figure 6 order. Planted
+// concepts follow DESIGN.md §7:
+//
+//   - Walmart, MovieLens1M: FK-level concepts on every attribute table →
+//     both joins safe to avoid (high TRs).
+//   - Expedia: FK-level concept on Hotels plus home-feature signal;
+//     Searches is open-domain (k' = 1).
+//   - Flights: FK-level concept on Airlines; the two airport tables are
+//     noise (the paper found they could have been avoided — its rules
+//     conservatively keep them).
+//   - Yelp: strong small-domain foreign-feature concepts on both tables
+//     with very low TRs → avoidance blows up the error.
+//   - LastFM: concept on the user side (low TR, kept); Artists noise.
+//   - BookCrossing: foreign-feature concept on Users (low TR, truly
+//     unsafe); Books noise (a missed opportunity, as in Figure 8(A)).
+func Mimics() []MimicSpec {
+	return []MimicSpec{
+		{
+			Name: "Walmart", Classes: 7, Rows: 421570,
+			Home:       []MimicFeature{feat("Dept", 81)},
+			HomeSignal: []float64{0.8},
+			Noise:      0.35,
+			Attrs: []MimicAttr{
+				{Name: "Indicators", FK: "IndicatorID", Rows: 2340, Closed: true, FKSignal: 1.0,
+					Features: []MimicFeature{feat("TempAvg", 10), feat("TempStdev", 10), feat("CPIAvg", 10), feat("CPIStdev", 10), feat("FuelPriceAvg", 10), feat("FuelPriceStdev", 10), feat("UnempRateAvg", 10), feat("UnempRateStdev", 10), feat("IsHoliday", 2)}},
+				{Name: "Stores", FK: "StoreID", Rows: 45, Closed: true, FKSignal: 0.9,
+					Features: []MimicFeature{feat("Type", 3), feat("Size", 10)}},
+			},
+		},
+		{
+			Name: "Expedia", Classes: 2, Rows: 942142,
+			Home:       []MimicFeature{feat("Score1", 10), feat("Score2", 10), feat("LogHistoricalPrice", 10), feat("PriceUSD", 10), feat("PromoFlag", 2), feat("OrigDestDistance", 10)},
+			HomeSignal: []float64{0, 0.7, 0, 0, 0.3, 0},
+			Noise:      0.18,
+			Attrs: []MimicAttr{
+				{Name: "Hotels", FK: "HotelID", Rows: 11939, Closed: true, FKSignal: 0.9,
+					Features: []MimicFeature{feat("Country", 50), feat("Stars", 5), feat("ReviewScore", 10), feat("BookingUSDAvg", 10), feat("BookingUSDStdev", 10), feat("BookingCount", 10), feat("BrandBool", 2), feat("ClickCount", 10)}},
+				{Name: "Searches", FK: "SearchID", Rows: 37021, Closed: false, FKSignal: 0,
+					Features: []MimicFeature{feat("Year", 2), feat("Month", 12), feat("WeekOfYear", 52), feat("TimeOfDay", 4), feat("VisitorCountry", 50), feat("SearchDest", 100), feat("LengthOfStay", 10), feat("ChildrenCount", 5), feat("AdultsCount", 5), feat("RoomCount", 4), feat("SiteID", 20), feat("BookingWindow", 10), feat("SatNightBool", 2), feat("RandomBool", 2)}},
+			},
+		},
+		{
+			Name: "Flights", Classes: 2, Rows: 66548,
+			Home:       mkEquipment(20),
+			HomeSignal: mkEquipmentSignal(20),
+			Noise:      0.12,
+			Attrs: []MimicAttr{
+				{Name: "Airlines", FK: "AirlineID", Rows: 540, Closed: true, FKSignal: 1.0,
+					Features: []MimicFeature{feat("AirCountry", 50), feat("Active", 2), feat("NameWords", 5), feat("NameHasAir", 2), feat("NameHasAirlines", 2)}},
+				{Name: "SrcAirports", FK: "SrcAirportID", Rows: 3182, Closed: true, FKSignal: 0,
+					Features: []MimicFeature{feat("SrcCity", 100), feat("SrcCountry", 50), feat("SrcDST", 5), feat("SrcTimeZone", 25), feat("SrcLongitude", 10), feat("SrcLatitude", 10)}},
+				{Name: "DestAirports", FK: "DestAirportID", Rows: 3182, Closed: true, FKSignal: 0,
+					Features: []MimicFeature{feat("DestCity", 100), feat("DestCountry", 50), feat("DestTimeZone", 25), feat("DestDST", 5), feat("DestLongitude", 10), feat("DestLatitude", 10)}},
+			},
+		},
+		{
+			Name: "Yelp", Classes: 5, Rows: 215879,
+			Home:  nil,
+			Noise: 0.3,
+			Attrs: []MimicAttr{
+				{Name: "Businesses", FK: "BusinessID", Rows: 11537, Closed: true, FeatureSignal: 1.0,
+					Features: append(append([]MimicFeature{feat("BusinessStars", 9), feat("BusinessReviewCount", 10), feat("Latitude", 10), feat("Longitude", 10), feat("City", 100), feat("State", 30)}, mkSeries("Checkins", 10, 10, "Category", 15, 2)...), feat("IsOpen", 2))},
+				{Name: "Users", FK: "UserID", Rows: 43873, Closed: true, FeatureSignal: 0.8,
+					Features: []MimicFeature{feat("UserStars", 9), feat("Gender", 2), feat("UserReviewCount", 10), feat("VotesUseful", 10), feat("VotesFunny", 10), feat("VotesCool", 10)}},
+			},
+		},
+		{
+			Name: "MovieLens1M", Classes: 5, Rows: 1000209,
+			Home:  nil,
+			Noise: 0.3,
+			Attrs: []MimicAttr{
+				{Name: "Movies", FK: "MovieID", Rows: 3706, Closed: true, FKSignal: 1.0,
+					Features: append([]MimicFeature{feat("NameWords", 8), feat("NameHasParentheses", 2), feat("Year", 10)}, mkSeries("Genre", 18, 2, "", 0, 0)...)},
+				{Name: "Users", FK: "UserID", Rows: 6040, Closed: true, FKSignal: 0.9,
+					Features: []MimicFeature{feat("Gender", 2), feat("Age", 7), feat("Zipcode", 100), feat("Occupation", 21)}},
+			},
+		},
+		{
+			Name: "LastFM", Classes: 5, Rows: 343747,
+			Home:  nil,
+			Noise: 0.3,
+			Attrs: []MimicAttr{
+				{Name: "Artists", FK: "ArtistID", Rows: 4999, Closed: true, FKSignal: 0,
+					Features: append([]MimicFeature{feat("Listens", 10), feat("Scrobbles", 10)}, mkSeries("Genre", 5, 2, "", 0, 0)...)},
+				{Name: "Users", FK: "UserID", Rows: 50000, Closed: true, FKSignal: 0.9,
+					Features: []MimicFeature{feat("Gender", 2), feat("Age", 10), feat("Country", 50), feat("JoinYear", 10)}},
+			},
+		},
+		{
+			Name: "BookCrossing", Classes: 5, Rows: 253120,
+			Home:  nil,
+			Noise: 0.3,
+			Attrs: []MimicAttr{
+				{Name: "Users", FK: "UserID", Rows: 49972, Closed: true, FeatureSignal: 1.0,
+					Features: []MimicFeature{feat("Age", 10), feat("Country", 50), feat("AgeBand", 5), feat("HasCountry", 2)}},
+				{Name: "Books", FK: "BookID", Rows: 27876, Closed: true, FKSignal: 0,
+					Features: []MimicFeature{feat("Year", 10), feat("Publisher", 100)}},
+			},
+		},
+	}
+}
+
+// mkEquipment builds the Flights entity schema: Equipment1..EquipmentN.
+func mkEquipment(n int) []MimicFeature {
+	out := make([]MimicFeature, n)
+	for i := range out {
+		out[i] = feat(fmt.Sprintf("Equipment%d", i+1), 4)
+	}
+	return out
+}
+
+// mkEquipmentSignal gives the first two equipment slots a mild signal.
+func mkEquipmentSignal(n int) []float64 {
+	out := make([]float64, n)
+	out[0], out[1] = 0.4, 0.2
+	return out
+}
+
+// mkSeries builds repeated columns like WeekdayCheckins1..5 / Category1..15.
+func mkSeries(nameA string, countA, cardA int, nameB string, countB, cardB int) []MimicFeature {
+	var out []MimicFeature
+	for i := 1; i <= countA; i++ {
+		out = append(out, feat(fmt.Sprintf("%s%d", nameA, i), cardA))
+	}
+	for i := 1; i <= countB; i++ {
+		out = append(out, feat(fmt.Sprintf("%s%d", nameB, i), cardB))
+	}
+	return out
+}
+
+// MimicByName returns the spec with the given name.
+func MimicByName(name string) (MimicSpec, error) {
+	for _, s := range Mimics() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return MimicSpec{}, fmt.Errorf("synth: no mimic named %q", name)
+}
+
+// MinEntityRows is the smallest entity table Generate will produce: below
+// this, the 25% holdout validation split is too small for greedy wrapper
+// search to make stable decisions. The effective scale is clamped upward to
+// reach it — uniformly across the entity and attribute tables, so the tuple
+// ratios that drive the decision rules are preserved exactly.
+const MinEntityRows = 4000
+
+// Generate materializes the mimic at the given scale: attribute tables of
+// scaled(n_Ri) rows with uniformly sampled features, an entity table of
+// scaled(n_S) rows, and labels drawn from the planted concept mixture. The
+// same seed always yields the same dataset.
+func (s MimicSpec) Generate(scale float64, seed uint64) (*dataset.Dataset, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("synth: mimic scale must lie in (0,1], got %v", scale)
+	}
+	if minScale := float64(MinEntityRows) / float64(s.Rows); scale < minScale && minScale <= 1 {
+		scale = minScale
+	}
+	if len(s.HomeSignal) != 0 && len(s.HomeSignal) != len(s.Home) {
+		return nil, fmt.Errorf("synth: mimic %q has %d home signals for %d home features", s.Name, len(s.HomeSignal), len(s.Home))
+	}
+	rng := stats.NewRNG(seed)
+	nS := scaled(s.Rows, scale)
+
+	type attrState struct {
+		table     *relational.Table
+		rows      int
+		latent    []int32 // per-RID latent label (FKSignal source)
+		featLabel []int32 // per-RID label derived from feature 0 (FeatureSignal source)
+	}
+	states := make([]attrState, len(s.Attrs))
+	for ai, a := range s.Attrs {
+		rows := scaled(a.Rows, scale)
+		tab := relational.NewTable(a.Name)
+		var feat0 []int32
+		for fi, f := range a.Features {
+			data := make([]int32, rows)
+			for i := range data {
+				data[i] = int32(rng.IntN(f.Card))
+			}
+			if err := tab.AddColumn(&relational.Column{Name: f.Name, Card: f.Card, Data: data}); err != nil {
+				return nil, err
+			}
+			if fi == 0 {
+				feat0 = data
+			}
+		}
+		st := attrState{table: tab, rows: rows}
+		st.latent = make([]int32, rows)
+		st.featLabel = make([]int32, rows)
+		for rid := 0; rid < rows; rid++ {
+			st.latent[rid] = int32(rng.IntN(s.Classes))
+			if len(feat0) > 0 {
+				st.featLabel[rid] = feat0[rid] % int32(s.Classes)
+			}
+		}
+		states[ai] = st
+	}
+
+	// Entity table: home features, FKs, and labels from the signal mixture.
+	homeData := make([][]int32, len(s.Home))
+	for j, f := range s.Home {
+		homeData[j] = make([]int32, nS)
+		for i := range homeData[j] {
+			homeData[j][i] = int32(rng.IntN(f.Card))
+		}
+	}
+	fkData := make([][]int32, len(s.Attrs))
+	for ai := range s.Attrs {
+		fkData[ai] = make([]int32, nS)
+		for i := range fkData[ai] {
+			fkData[ai][i] = int32(rng.IntN(states[ai].rows))
+		}
+	}
+	// Build the signal mixture: (weight, score) pairs. The label is the
+	// rounded weighted average of the source scores plus ordinal jitter —
+	// an ordinal concept (like the star ratings of Yelp/MovieLens/
+	// BookCrossing) under which every signal source reduces RMSE, matching
+	// the paper's multi-class targets. Binary targets degenerate to a
+	// weighted majority vote with label flips as noise.
+	type source struct {
+		weight float64
+		score  func(row int) int32
+	}
+	var sources []source
+	for j := range s.Home {
+		if len(s.HomeSignal) == 0 || s.HomeSignal[j] == 0 {
+			continue
+		}
+		j := j
+		sources = append(sources, source{s.HomeSignal[j], func(i int) int32 {
+			return homeData[j][i] % int32(s.Classes)
+		}})
+	}
+	for ai, a := range s.Attrs {
+		ai := ai
+		if a.FKSignal > 0 {
+			sources = append(sources, source{a.FKSignal, func(i int) int32 {
+				return states[ai].latent[fkData[ai][i]]
+			}})
+		}
+		if a.FeatureSignal > 0 {
+			sources = append(sources, source{a.FeatureSignal, func(i int) int32 {
+				return states[ai].featLabel[fkData[ai][i]]
+			}})
+		}
+	}
+	totalWeight := 0.0
+	for _, src := range sources {
+		totalWeight += src.weight
+	}
+	y := make([]int32, nS)
+	for i := 0; i < nS; i++ {
+		if len(sources) == 0 {
+			y[i] = int32(rng.IntN(s.Classes))
+			continue
+		}
+		base := 0.0
+		for _, src := range sources {
+			base += src.weight * float64(src.score(i))
+		}
+		base /= totalWeight
+		var yv int
+		if s.Classes == 2 {
+			// Probabilistic vote: every signal source shifts P(Y=1)
+			// monotonically, so greedy search never hits the plateau a
+			// hard-threshold majority would create.
+			p1 := s.Noise*0.5 + (1-s.Noise)*base
+			if rng.Bernoulli(p1) {
+				yv = 1
+			}
+		} else {
+			yv = int(base + 0.5)
+			if rng.Bernoulli(s.Noise) {
+				if rng.Bernoulli(0.5) {
+					yv++
+				} else {
+					yv--
+				}
+			}
+			if yv < 0 {
+				yv = 0
+			}
+			if yv >= s.Classes {
+				yv = s.Classes - 1
+			}
+		}
+		y[i] = int32(yv)
+	}
+
+	entity := relational.NewTable(s.Name + "_S")
+	if err := entity.AddColumn(&relational.Column{Name: "Y", Card: s.Classes, Data: y}); err != nil {
+		return nil, err
+	}
+	var home []string
+	for j, f := range s.Home {
+		if err := entity.AddColumn(&relational.Column{Name: f.Name, Card: f.Card, Data: homeData[j]}); err != nil {
+			return nil, err
+		}
+		home = append(home, f.Name)
+	}
+	var attrs []dataset.AttributeTable
+	for ai, a := range s.Attrs {
+		if err := entity.AddColumn(&relational.Column{Name: a.FK, Card: states[ai].rows, Data: fkData[ai]}); err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, dataset.AttributeTable{Table: states[ai].table, FK: a.FK, ClosedDomain: a.Closed})
+	}
+	d := &dataset.Dataset{Name: s.Name, Entity: entity, Target: "Y", HomeFeatures: home, Attrs: attrs}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,210 @@
+package synth
+
+import (
+	"testing"
+
+	"hamlet/internal/core"
+	"hamlet/internal/stats"
+)
+
+// figure6 captures the paper's Figure 6 statistics for verification.
+var figure6 = map[string]struct {
+	classes, nS, dS, k, kPrime int
+	attrRows                   []int
+	attrFeats                  []int
+}{
+	"Walmart":      {7, 421570, 1, 2, 2, []int{2340, 45}, []int{9, 2}},
+	"Expedia":      {2, 942142, 6, 2, 1, []int{11939, 37021}, []int{8, 14}},
+	"Flights":      {2, 66548, 20, 3, 3, []int{540, 3182, 3182}, []int{5, 6, 6}},
+	"Yelp":         {5, 215879, 0, 2, 2, []int{11537, 43873}, []int{32, 6}},
+	"MovieLens1M":  {5, 1000209, 0, 2, 2, []int{3706, 6040}, []int{21, 4}},
+	"LastFM":       {5, 343747, 0, 2, 2, []int{4999, 50000}, []int{7, 4}},
+	"BookCrossing": {5, 253120, 0, 2, 2, []int{49972, 27876}, []int{4, 2}},
+}
+
+func TestMimicSpecsMatchFigure6(t *testing.T) {
+	specs := Mimics()
+	if len(specs) != 7 {
+		t.Fatalf("have %d mimics, want 7", len(specs))
+	}
+	for _, s := range specs {
+		want, ok := figure6[s.Name]
+		if !ok {
+			t.Fatalf("unexpected mimic %q", s.Name)
+		}
+		if s.Classes != want.classes {
+			t.Errorf("%s: classes = %d, want %d", s.Name, s.Classes, want.classes)
+		}
+		if s.Rows != want.nS {
+			t.Errorf("%s: n_S = %d, want %d", s.Name, s.Rows, want.nS)
+		}
+		if len(s.Home) != want.dS {
+			t.Errorf("%s: d_S = %d, want %d", s.Name, len(s.Home), want.dS)
+		}
+		if len(s.Attrs) != want.k {
+			t.Errorf("%s: k = %d, want %d", s.Name, len(s.Attrs), want.k)
+		}
+		kPrime := 0
+		for i, a := range s.Attrs {
+			if a.Closed {
+				kPrime++
+			}
+			if a.Rows != want.attrRows[i] {
+				t.Errorf("%s/%s: n_R = %d, want %d", s.Name, a.Name, a.Rows, want.attrRows[i])
+			}
+			if len(a.Features) != want.attrFeats[i] {
+				t.Errorf("%s/%s: d_R = %d, want %d", s.Name, a.Name, len(a.Features), want.attrFeats[i])
+			}
+		}
+		if kPrime != want.kPrime {
+			t.Errorf("%s: k' = %d, want %d", s.Name, kPrime, want.kPrime)
+		}
+	}
+}
+
+func TestMimicGenerateValidates(t *testing.T) {
+	for _, s := range Mimics() {
+		d, err := s.Generate(0.01, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: generated dataset invalid: %v", s.Name, err)
+		}
+		if d.NumClasses() != s.Classes {
+			t.Fatalf("%s: classes = %d", s.Name, d.NumClasses())
+		}
+	}
+}
+
+func TestMimicScalePreservesTupleRatios(t *testing.T) {
+	// TR must be (approximately) scale-invariant: both n_S and n_R scale.
+	s, err := MimicByName("Walmart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scale := range []float64{0.02, 0.1} {
+		d, err := s.Generate(scale, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nTrain := d.NumRows() / 2
+		tr, err := core.TupleRatio(nTrain, d.Attrs[0].Table.NumRows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper-scale TR for Walmart/Indicators is ≈ 90.
+		if tr < 70 || tr > 115 {
+			t.Fatalf("scale %v: TR = %v, want ≈90", scale, tr)
+		}
+	}
+}
+
+// TestMimicAdvisorDecisions verifies the end-to-end avoid/keep split of §5
+// on the generated mimics: 7 avoided + 3 kept among closed-domain FKs, with
+// Expedia's Searches never considered (open domain).
+func TestMimicAdvisorDecisions(t *testing.T) {
+	wantAvoid := map[string]bool{
+		"Walmart/Indicators":   true,
+		"Walmart/Stores":       true,
+		"Expedia/Hotels":       true,
+		"Flights/Airlines":     true,
+		"Flights/SrcAirports":  false,
+		"Flights/DestAirports": false,
+		"Yelp/Businesses":      false,
+		"Yelp/Users":           false,
+		"MovieLens1M/Movies":   true,
+		"MovieLens1M/Users":    true,
+		"LastFM/Artists":       true,
+		"LastFM/Users":         false,
+		"BookCrossing/Users":   false,
+		"BookCrossing/Books":   false,
+	}
+	adv := core.NewAdvisor()
+	for _, s := range Mimics() {
+		d, err := s.Generate(0.02, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decs, err := adv.Decide(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dec := range decs {
+			key := s.Name + "/" + dec.Attr
+			if dec.Attr == "Searches" {
+				if dec.Considered {
+					t.Errorf("%s: open-domain FK considered", key)
+				}
+				continue
+			}
+			want, ok := wantAvoid[key]
+			if !ok {
+				t.Fatalf("unexpected decision key %s", key)
+			}
+			if dec.Avoid != want {
+				t.Errorf("%s: avoid=%v (TR=%.1f), paper says %v", key, dec.Avoid, dec.TR, want)
+			}
+		}
+	}
+}
+
+func TestMimicDeterminism(t *testing.T) {
+	s, _ := MimicByName("Flights")
+	a, err := s.Generate(0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Generate(0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ya, yb := a.Entity.Column("Y").Data, b.Entity.Column("Y").Data
+	for i := range ya {
+		if ya[i] != yb[i] {
+			t.Fatal("same-seed mimics differ")
+		}
+	}
+}
+
+func TestMimicLabelsAreLearnable(t *testing.T) {
+	// The planted Walmart concept must make the FK features informative:
+	// I(IndicatorID; Y) must clearly exceed the MI of a random column.
+	s, _ := MimicByName("Walmart")
+	d, err := s.Generate(0.02, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := d.Entity.Column("Y")
+	fk := d.Entity.Column("IndicatorID")
+	mi := stats.MutualInformation(fk.Data, fk.Card, y.Data, y.Card)
+	if mi < 0.05 {
+		t.Fatalf("planted FK signal too weak: I(FK;Y) = %v", mi)
+	}
+}
+
+func TestMimicErrors(t *testing.T) {
+	s, _ := MimicByName("Walmart")
+	if _, err := s.Generate(0, 1); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := s.Generate(1.5, 1); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+	if _, err := MimicByName("Nope"); err == nil {
+		t.Fatal("unknown mimic accepted")
+	}
+	bad := s
+	bad.HomeSignal = []float64{0.1, 0.2}
+	if _, err := bad.Generate(0.1, 1); err == nil {
+		t.Fatal("mismatched home signal accepted")
+	}
+}
+
+func TestMimicStats(t *testing.T) {
+	s, _ := MimicByName("Expedia")
+	nS, dS, k, kPrime, attr := s.Stats(0.1)
+	if nS != 94214 || dS != 6 || k != 2 || kPrime != 1 || len(attr) != 2 {
+		t.Fatalf("stats = %d %d %d %d %v", nS, dS, k, kPrime, attr)
+	}
+}

@@ -1,0 +1,426 @@
+// Package synth generates the controlled datasets Hamlet-Go's experiments
+// run on: the paper's Monte Carlo simulation scenarios (§4.1 and Appendix D)
+// and schema-faithful mimics of the seven real datasets of §5 (see mimic.go).
+//
+// A simulation World is one realization of the paper's generative setting: a
+// fixed attribute table R of n_R rows × d_R boolean features, a foreign-key
+// distribution (uniform, Zipfian, or needle-and-thread), and a true
+// distribution P(Y, X) chosen by scenario. Labeled examples are sampled
+// i.i.d.; the world exposes the exact conditional P(Y|x) so the bias–
+// variance harness can compute noise and optimal predictions exactly.
+package synth
+
+import (
+	"fmt"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/relational"
+	"hamlet/internal/stats"
+)
+
+// Scenario selects which features participate in the true distribution.
+type Scenario int
+
+const (
+	// OneXr: a lone foreign feature X_r ∈ X_R captures the concept, with
+	// P(Y=0|X_r=0) = P(Y=1|X_r=1) = p (Figure 3). This is the worst case
+	// for avoiding the join.
+	OneXr Scenario = iota
+	// AllXsXr: all of X_S and X_R are part of the true distribution
+	// (Figure 11): Y flips a coin, X_S features agree with Y with
+	// probability 1−p each, and FK is drawn from the RIDs whose X_R
+	// majority vote agrees with Y with probability 1−p.
+	AllXsXr
+	// XsFkOnly: only X_S and FK matter; X_R is pure noise with respect to
+	// Y beyond what FK already encodes (the appendix's third scenario).
+	// Each RID carries a latent label bit; Y agrees with it with
+	// probability 1−p, and X_S features agree with Y with probability 1−p.
+	XsFkOnly
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case OneXr:
+		return "OneXr"
+	case AllXsXr:
+		return "AllXsXr"
+	case XsFkOnly:
+		return "XsFkOnly"
+	}
+	return fmt.Sprintf("Scenario(%d)", int(s))
+}
+
+// Skew selects the foreign-key marginal distribution (Appendix D).
+type Skew int
+
+const (
+	// NoSkew draws FK uniformly.
+	NoSkew Skew = iota
+	// ZipfSkew draws FK from a Zipf distribution (benign skew).
+	ZipfSkew
+	// NeedleThreadSkew draws FK from the paper's malign needle-and-thread
+	// distribution: the needle RID carries mass p and one X_r value; the
+	// thread spreads 1−p over the rest, all carrying the other X_r value.
+	NeedleThreadSkew
+)
+
+// String implements fmt.Stringer.
+func (s Skew) String() string {
+	switch s {
+	case NoSkew:
+		return "none"
+	case ZipfSkew:
+		return "zipf"
+	case NeedleThreadSkew:
+		return "needle-and-thread"
+	}
+	return fmt.Sprintf("Skew(%d)", int(s))
+}
+
+// SimConfig describes one simulation setting (one point of a parameter
+// sweep).
+type SimConfig struct {
+	// Scenario selects the true distribution.
+	Scenario Scenario
+	// DS is d_S, the number of boolean entity-table features.
+	DS int
+	// DR is d_R, the number of boolean attribute-table features.
+	DR int
+	// NR is n_R = |D_FK|, the attribute-table size.
+	NR int
+	// P is the scenario noise parameter (the paper uses 0.1).
+	P float64
+	// Skew selects the FK marginal; NoSkew unless stated.
+	Skew Skew
+	// ZipfS is the Zipf exponent for ZipfSkew (the paper uses 2).
+	ZipfS float64
+	// NeedleP is the needle mass for NeedleThreadSkew (the paper uses 0.5).
+	NeedleP float64
+}
+
+// Validate checks the configuration.
+func (c SimConfig) Validate() error {
+	if c.DS < 0 || c.DR < 1 {
+		return fmt.Errorf("synth: need dS ≥ 0 and dR ≥ 1, got dS=%d dR=%d", c.DS, c.DR)
+	}
+	if c.NR < 2 {
+		return fmt.Errorf("synth: need nR ≥ 2, got %d", c.NR)
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("synth: noise p must lie in [0,1], got %v", c.P)
+	}
+	if c.Skew == NeedleThreadSkew && (c.NeedleP <= 0 || c.NeedleP >= 1) {
+		return fmt.Errorf("synth: needle probability must lie in (0,1), got %v", c.NeedleP)
+	}
+	return nil
+}
+
+// World is one realization of a simulation setting: the fixed attribute
+// table, the FK marginal, and the concept.
+type World struct {
+	// Cfg is the generating configuration.
+	Cfg SimConfig
+	// R[rid][j] is attribute table cell (rid, feature j), 0 or 1.
+	R [][]int32
+	// majority[rid] is the X_R majority vote used by AllXsXr.
+	majority []int32
+	// ridLabel[rid] is the latent per-RID label bit used by XsFkOnly.
+	ridLabel []int32
+	// fkWeights is the FK marginal (unnormalized).
+	fkWeights []float64
+	// votersByBit[b] lists RIDs whose majority equals b (AllXsXr).
+	votersByBit [2][]int
+}
+
+// NewWorld realizes a world from the configuration and seed. The attribute
+// table, FK marginal and concept are fixed for the world's lifetime; only
+// example sampling consumes randomness afterwards.
+func NewWorld(cfg SimConfig, seed uint64) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed)
+	w := &World{Cfg: cfg}
+	w.R = make([][]int32, cfg.NR)
+	for rid := range w.R {
+		row := make([]int32, cfg.DR)
+		for j := range row {
+			row[j] = int32(rng.IntN(2))
+		}
+		w.R[rid] = row
+	}
+	if cfg.Skew == NeedleThreadSkew {
+		// The needle RID (0) carries one X_r value, the thread the other.
+		w.R[0][0] = 0
+		for rid := 1; rid < cfg.NR; rid++ {
+			w.R[rid][0] = 1
+		}
+	} else {
+		// Guarantee X_r is non-constant so the concept exists.
+		w.R[0][0] = 0
+		w.R[cfg.NR-1][0] = 1
+	}
+	w.majority = make([]int32, cfg.NR)
+	w.ridLabel = make([]int32, cfg.NR)
+	for rid, row := range w.R {
+		ones := 0
+		for _, v := range row {
+			ones += int(v)
+		}
+		if 2*ones > len(row) || (2*ones == len(row) && rid%2 == 1) {
+			w.majority[rid] = 1
+		}
+		w.ridLabel[rid] = int32(rng.IntN(2))
+	}
+	// Ensure both majority classes are inhabited so AllXsXr sampling is
+	// well defined, then index RIDs by their majority bit.
+	w.majority[0] = 0
+	w.majority[cfg.NR-1] = 1
+	for rid := range w.R {
+		w.votersByBit[w.majority[rid]] = append(w.votersByBit[w.majority[rid]], rid)
+	}
+	switch cfg.Skew {
+	case NoSkew:
+		w.fkWeights = make([]float64, cfg.NR)
+		for i := range w.fkWeights {
+			w.fkWeights[i] = 1
+		}
+	case ZipfSkew:
+		w.fkWeights = stats.NewZipf(cfg.NR, cfg.ZipfS).Probs()
+	case NeedleThreadSkew:
+		w.fkWeights = stats.NeedleAndThread{N: cfg.NR, NeedleProb: cfg.NeedleP}.Probs()
+	default:
+		return nil, fmt.Errorf("synth: unknown skew %d", cfg.Skew)
+	}
+	return w, nil
+}
+
+// FeatureLayout describes the column order of sampled designs:
+// X_S features first, then FK, then X_R features.
+func (w *World) FeatureLayout() (xs []int, fk int, xr []int) {
+	for i := 0; i < w.Cfg.DS; i++ {
+		xs = append(xs, i)
+	}
+	fk = w.Cfg.DS
+	for i := 0; i < w.Cfg.DR; i++ {
+		xr = append(xr, w.Cfg.DS+1+i)
+	}
+	return xs, fk, xr
+}
+
+// UseAllFeatures returns all feature indices (the paper's UseAll model
+// class).
+func (w *World) UseAllFeatures() []int {
+	xs, fk, xr := w.FeatureLayout()
+	out := append(append([]int(nil), xs...), fk)
+	return append(out, xr...)
+}
+
+// NoJoinFeatures returns X_S ∪ {FK} (the paper's NoJoin model class).
+func (w *World) NoJoinFeatures() []int {
+	xs, fk, _ := w.FeatureLayout()
+	return append(append([]int(nil), xs...), fk)
+}
+
+// NoFKFeatures returns X_S ∪ X_R (the paper's NoFK model class).
+func (w *World) NoFKFeatures() []int {
+	xs, _, xr := w.FeatureLayout()
+	return append(append([]int(nil), xs...), xr...)
+}
+
+// sampleLabelAndFK draws (Y, FK) from the world's joint distribution.
+func (w *World) sampleLabelAndFK(rng *stats.RNG) (y int32, fk int) {
+	cfg := w.Cfg
+	switch cfg.Scenario {
+	case OneXr:
+		fk = rng.Categorical(w.fkWeights)
+		xr := w.R[fk][0]
+		// P(Y=0|X_r=0) = P(Y=1|X_r=1) = p.
+		if xr == 0 {
+			if rng.Bernoulli(cfg.P) {
+				y = 0
+			} else {
+				y = 1
+			}
+		} else {
+			if rng.Bernoulli(cfg.P) {
+				y = 1
+			} else {
+				y = 0
+			}
+		}
+	case AllXsXr:
+		y = int32(rng.IntN(2))
+		target := y
+		if rng.Bernoulli(cfg.P) {
+			target = 1 - target
+		}
+		// Draw FK from the RIDs whose majority vote equals target,
+		// weighted by the FK marginal restricted to that set.
+		voters := w.votersByBit[target]
+		weights := make([]float64, len(voters))
+		for i, rid := range voters {
+			weights[i] = w.fkWeights[rid]
+		}
+		total := 0.0
+		for _, wt := range weights {
+			total += wt
+		}
+		if total == 0 {
+			fk = voters[rng.IntN(len(voters))]
+		} else {
+			fk = voters[rng.Categorical(weights)]
+		}
+	case XsFkOnly:
+		fk = rng.Categorical(w.fkWeights)
+		y = w.ridLabel[fk]
+		if rng.Bernoulli(cfg.P) {
+			y = 1 - y
+		}
+	}
+	return y, fk
+}
+
+// Sample draws n i.i.d. labeled examples and materializes them as a design
+// matrix with the FeatureLayout column order.
+func (w *World) Sample(n int, rng *stats.RNG) *dataset.Design {
+	cfg := w.Cfg
+	m := &dataset.Design{NumClasses: 2, Y: make([]int32, n)}
+	xsData := make([][]int32, cfg.DS)
+	for j := range xsData {
+		xsData[j] = make([]int32, n)
+	}
+	fkData := make([]int32, n)
+	xrData := make([][]int32, cfg.DR)
+	for j := range xrData {
+		xrData[j] = make([]int32, n)
+	}
+	for i := 0; i < n; i++ {
+		y, fk := w.sampleLabelAndFK(rng)
+		m.Y[i] = y
+		fkData[i] = int32(fk)
+		for j := range xrData {
+			xrData[j][i] = w.R[fk][j]
+		}
+		for j := range xsData {
+			switch cfg.Scenario {
+			case AllXsXr, XsFkOnly:
+				v := y
+				if rng.Bernoulli(cfg.P) {
+					v = 1 - v
+				}
+				xsData[j][i] = v
+			default:
+				xsData[j][i] = int32(rng.IntN(2))
+			}
+		}
+	}
+	for j := range xsData {
+		m.Features = append(m.Features, dataset.Feature{Name: fmt.Sprintf("XS%d", j), Card: 2, Data: xsData[j], Source: "S"})
+	}
+	m.Features = append(m.Features, dataset.Feature{Name: "FK", Card: cfg.NR, Data: fkData, Source: "S", IsFK: true})
+	for j := range xrData {
+		m.Features = append(m.Features, dataset.Feature{Name: fmt.Sprintf("XR%d", j), Card: 2, Data: xrData[j], Source: "R"})
+	}
+	return m
+}
+
+// TrueConditional returns the exact P(Y=1 | x) for row i of a sampled
+// design. For OneXr it depends only on X_r; for XsFkOnly only on FK and X_S;
+// for AllXsXr on FK (through its majority bit) and X_S. The bias–variance
+// harness uses this for exact noise and optimal predictions.
+func (w *World) TrueConditional(m *dataset.Design, i int) float64 {
+	cfg := w.Cfg
+	_, fkIdx, _ := w.FeatureLayout()
+	fk := int(m.Features[fkIdx].Data[i])
+	switch cfg.Scenario {
+	case OneXr:
+		if w.R[fk][0] == 0 {
+			return 1 - cfg.P // P(Y=1|X_r=0)
+		}
+		return cfg.P // P(Y=1|X_r=1)
+	case AllXsXr:
+		// P(Y=1 | majority bit b, x_S) ∝ P(b|Y=1)·Π P(x_Sj|Y=1)·P(Y=1).
+		b := w.majority[fk]
+		return w.posteriorFromAgreements(m, i, b)
+	case XsFkOnly:
+		l := w.ridLabel[fk]
+		return w.posteriorFromAgreements(m, i, l)
+	}
+	return 0.5
+}
+
+// posteriorFromAgreements computes P(Y=1 | bit, x_S) under the conditional
+// independence of the generative model: bit agrees with Y w.p. 1−p, each x_S
+// feature agrees with Y w.p. 1−p, and Y is a fair coin.
+func (w *World) posteriorFromAgreements(m *dataset.Design, i int, bit int32) float64 {
+	cfg := w.Cfg
+	xs, _, _ := w.FeatureLayout()
+	like := func(y int32) float64 {
+		l := 1.0
+		if bit == y {
+			l *= 1 - cfg.P
+		} else {
+			l *= cfg.P
+		}
+		for _, j := range xs {
+			if m.Features[j].Data[i] == y {
+				l *= 1 - cfg.P
+			} else {
+				l *= cfg.P
+			}
+		}
+		return l
+	}
+	l1, l0 := like(1), like(0)
+	if l1+l0 == 0 {
+		return 0.5
+	}
+	return l1 / (l1 + l0)
+}
+
+// Dataset materializes n sampled examples as a normalized dataset.Dataset
+// (entity table with FK + attribute table R), for exercising the advisor and
+// join planner on simulation data.
+func (w *World) Dataset(name string, n int, rng *stats.RNG) (*dataset.Dataset, error) {
+	m := w.Sample(n, rng)
+	xs, fkIdx, _ := w.FeatureLayout()
+	entity := relational.NewTable("S")
+	if err := entity.AddColumn(&relational.Column{Name: "Y", Card: 2, Data: m.Y}); err != nil {
+		return nil, err
+	}
+	var home []string
+	for _, j := range xs {
+		f := m.Features[j]
+		if err := entity.AddColumn(&relational.Column{Name: f.Name, Card: f.Card, Data: f.Data}); err != nil {
+			return nil, err
+		}
+		home = append(home, f.Name)
+	}
+	fk := m.Features[fkIdx]
+	if err := entity.AddColumn(&relational.Column{Name: "FK", Card: fk.Card, Data: fk.Data}); err != nil {
+		return nil, err
+	}
+	attr := relational.NewTable("R")
+	for j := 0; j < w.Cfg.DR; j++ {
+		col := make([]int32, w.Cfg.NR)
+		for rid := range col {
+			col[rid] = w.R[rid][j]
+		}
+		if err := attr.AddColumn(&relational.Column{Name: fmt.Sprintf("XR%d", j), Card: 2, Data: col}); err != nil {
+			return nil, err
+		}
+	}
+	d := &dataset.Dataset{
+		Name:         name,
+		Entity:       entity,
+		Target:       "Y",
+		HomeFeatures: home,
+		Attrs:        []dataset.AttributeTable{{Table: attr, FK: "FK", ClosedDomain: true}},
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,308 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"hamlet/internal/relational"
+	"hamlet/internal/stats"
+)
+
+func mustWorld(t *testing.T, cfg SimConfig, seed uint64) *World {
+	t.Helper()
+	w, err := NewWorld(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func baseCfg() SimConfig {
+	return SimConfig{Scenario: OneXr, DS: 2, DR: 4, NR: 40, P: 0.1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := baseCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []SimConfig{
+		{Scenario: OneXr, DS: -1, DR: 4, NR: 40, P: 0.1},
+		{Scenario: OneXr, DS: 2, DR: 0, NR: 40, P: 0.1},
+		{Scenario: OneXr, DS: 2, DR: 4, NR: 1, P: 0.1},
+		{Scenario: OneXr, DS: 2, DR: 4, NR: 40, P: 1.5},
+		{Scenario: OneXr, DS: 2, DR: 4, NR: 40, P: 0.1, Skew: NeedleThreadSkew, NeedleP: 0},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestWorldShape(t *testing.T) {
+	w := mustWorld(t, baseCfg(), 1)
+	if len(w.R) != 40 || len(w.R[0]) != 4 {
+		t.Fatalf("R shape = %dx%d", len(w.R), len(w.R[0]))
+	}
+	xs, fk, xr := w.FeatureLayout()
+	if len(xs) != 2 || fk != 2 || len(xr) != 4 {
+		t.Fatalf("layout = %v %v %v", xs, fk, xr)
+	}
+	if len(w.UseAllFeatures()) != 7 || len(w.NoJoinFeatures()) != 3 || len(w.NoFKFeatures()) != 6 {
+		t.Fatal("model-class feature sets wrong")
+	}
+}
+
+func TestSampleRespectsFD(t *testing.T) {
+	w := mustWorld(t, baseCfg(), 2)
+	rng := stats.NewRNG(3)
+	m := w.Sample(500, rng)
+	if m.NumRows() != 500 || m.NumFeatures() != 7 {
+		t.Fatalf("design shape = (%d,%d)", m.NumRows(), m.NumFeatures())
+	}
+	_, fkIdx, xr := w.FeatureLayout()
+	for i := 0; i < 500; i++ {
+		fk := m.Features[fkIdx].Data[i]
+		for j, col := range xr {
+			if m.Features[col].Data[i] != w.R[fk][j] {
+				t.Fatalf("FD FK→X_R violated at row %d feature %d", i, j)
+			}
+		}
+	}
+	if !m.Features[fkIdx].IsFK {
+		t.Fatal("FK feature not marked")
+	}
+}
+
+func TestOneXrLabelNoise(t *testing.T) {
+	w := mustWorld(t, baseCfg(), 4)
+	rng := stats.NewRNG(5)
+	m := w.Sample(20000, rng)
+	_, _, xr := w.FeatureLayout()
+	// P(Y=0|X_r=0) must be ≈ p = 0.1.
+	n0, y0 := 0, 0
+	for i := 0; i < m.NumRows(); i++ {
+		if m.Features[xr[0]].Data[i] == 0 {
+			n0++
+			if m.Y[i] == 0 {
+				y0++
+			}
+		}
+	}
+	if n0 == 0 {
+		t.Fatal("X_r never 0")
+	}
+	f := float64(y0) / float64(n0)
+	if math.Abs(f-0.1) > 0.02 {
+		t.Fatalf("P(Y=0|X_r=0) = %v, want ≈0.1", f)
+	}
+}
+
+func TestTrueConditionalOneXr(t *testing.T) {
+	w := mustWorld(t, baseCfg(), 6)
+	rng := stats.NewRNG(7)
+	m := w.Sample(100, rng)
+	_, _, xr := w.FeatureLayout()
+	for i := 0; i < 100; i++ {
+		p1 := w.TrueConditional(m, i)
+		if m.Features[xr[0]].Data[i] == 0 {
+			if math.Abs(p1-0.9) > 1e-12 {
+				t.Fatalf("P(Y=1|X_r=0) = %v", p1)
+			}
+		} else if math.Abs(p1-0.1) > 1e-12 {
+			t.Fatalf("P(Y=1|X_r=1) = %v", p1)
+		}
+	}
+}
+
+func TestAllXsXrSampling(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Scenario = AllXsXr
+	w := mustWorld(t, cfg, 8)
+	rng := stats.NewRNG(9)
+	m := w.Sample(20000, rng)
+	// Majority bit of X_R must agree with Y about 1−p of the time.
+	_, fkIdx, _ := w.FeatureLayout()
+	agree := 0
+	for i := 0; i < m.NumRows(); i++ {
+		if w.majority[m.Features[fkIdx].Data[i]] == m.Y[i] {
+			agree++
+		}
+	}
+	f := float64(agree) / float64(m.NumRows())
+	if math.Abs(f-0.9) > 0.02 {
+		t.Fatalf("majority/Y agreement = %v, want ≈0.9", f)
+	}
+	// X_S features must also agree with Y about 1−p of the time.
+	xs, _, _ := w.FeatureLayout()
+	agree = 0
+	for i := 0; i < m.NumRows(); i++ {
+		if m.Features[xs[0]].Data[i] == m.Y[i] {
+			agree++
+		}
+	}
+	f = float64(agree) / float64(m.NumRows())
+	if math.Abs(f-0.9) > 0.02 {
+		t.Fatalf("X_S/Y agreement = %v, want ≈0.9", f)
+	}
+}
+
+func TestXsFkOnlySampling(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Scenario = XsFkOnly
+	w := mustWorld(t, cfg, 10)
+	rng := stats.NewRNG(11)
+	m := w.Sample(20000, rng)
+	_, fkIdx, _ := w.FeatureLayout()
+	agree := 0
+	for i := 0; i < m.NumRows(); i++ {
+		if w.ridLabel[m.Features[fkIdx].Data[i]] == m.Y[i] {
+			agree++
+		}
+	}
+	f := float64(agree) / float64(m.NumRows())
+	if math.Abs(f-0.9) > 0.02 {
+		t.Fatalf("ridLabel/Y agreement = %v, want ≈0.9", f)
+	}
+}
+
+func TestTrueConditionalIsCalibrated(t *testing.T) {
+	// Empirical check: among rows with P(Y=1|x) ∈ [a,b), the empirical
+	// rate of Y=1 must fall in roughly the same band.
+	for _, scen := range []Scenario{OneXr, AllXsXr, XsFkOnly} {
+		cfg := baseCfg()
+		cfg.Scenario = scen
+		w := mustWorld(t, cfg, 12)
+		rng := stats.NewRNG(13)
+		m := w.Sample(40000, rng)
+		var lowN, lowY, highN, highY int
+		for i := 0; i < m.NumRows(); i++ {
+			p1 := w.TrueConditional(m, i)
+			if p1 < 0.5 {
+				lowN++
+				lowY += int(m.Y[i])
+			} else {
+				highN++
+				highY += int(m.Y[i])
+			}
+		}
+		if lowN == 0 || highN == 0 {
+			t.Fatalf("%v: degenerate conditional split", scen)
+		}
+		fLow := float64(lowY) / float64(lowN)
+		fHigh := float64(highY) / float64(highN)
+		if fLow >= 0.5 || fHigh <= 0.5 {
+			t.Fatalf("%v: conditional not calibrated: low=%v high=%v", scen, fLow, fHigh)
+		}
+	}
+}
+
+func TestNeedleThreadWorld(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Skew = NeedleThreadSkew
+	cfg.NeedleP = 0.5
+	w := mustWorld(t, cfg, 14)
+	// Needle RID carries X_r = 0, thread carries X_r = 1.
+	if w.R[0][0] != 0 {
+		t.Fatal("needle X_r wrong")
+	}
+	for rid := 1; rid < cfg.NR; rid++ {
+		if w.R[rid][0] != 1 {
+			t.Fatal("thread X_r wrong")
+		}
+	}
+	rng := stats.NewRNG(15)
+	m := w.Sample(20000, rng)
+	_, fkIdx, _ := w.FeatureLayout()
+	needle := 0
+	for i := 0; i < m.NumRows(); i++ {
+		if m.Features[fkIdx].Data[i] == 0 {
+			needle++
+		}
+	}
+	f := float64(needle) / float64(m.NumRows())
+	if math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("needle frequency = %v, want ≈0.5", f)
+	}
+}
+
+func TestZipfWorldSkewsFK(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Skew = ZipfSkew
+	cfg.ZipfS = 2
+	w := mustWorld(t, cfg, 16)
+	rng := stats.NewRNG(17)
+	m := w.Sample(20000, rng)
+	_, fkIdx, _ := w.FeatureLayout()
+	counts := make([]int, cfg.NR)
+	for i := 0; i < m.NumRows(); i++ {
+		counts[m.Features[fkIdx].Data[i]]++
+	}
+	if counts[0] < counts[cfg.NR-1] {
+		t.Fatal("Zipf skew should concentrate on low RIDs")
+	}
+	if float64(counts[0])/float64(m.NumRows()) < 0.4 {
+		t.Fatalf("Zipf(s=2) head mass too small: %v", counts[0])
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	w := mustWorld(t, baseCfg(), 18)
+	rng := stats.NewRNG(19)
+	d, err := w.Dataset("sim", 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 400 || d.NumClasses() != 2 {
+		t.Fatal("dataset shape wrong")
+	}
+	// The joined design matrix must satisfy the FD FK → XR0.
+	m, err := d.Materialize(d.JoinAllPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := relational.NewTable("T")
+	fkIdx := m.FeatureIndex("FK")
+	xrIdx := m.FeatureIndex("XR0")
+	tab.MustAddColumn(&relational.Column{Name: "FK", Card: m.Features[fkIdx].Card, Data: m.Features[fkIdx].Data})
+	tab.MustAddColumn(&relational.Column{Name: "XR0", Card: 2, Data: m.Features[xrIdx].Data})
+	ok, err := relational.HoldsFD(tab, "FK", "XR0")
+	if err != nil || !ok {
+		t.Fatalf("FD violated in materialized dataset (err=%v)", err)
+	}
+}
+
+func TestScenarioAndSkewStrings(t *testing.T) {
+	if OneXr.String() != "OneXr" || AllXsXr.String() != "AllXsXr" || XsFkOnly.String() != "XsFkOnly" {
+		t.Fatal("scenario strings")
+	}
+	if Scenario(9).String() == "" || Skew(9).String() == "" {
+		t.Fatal("unknown enum strings should not be empty")
+	}
+	if NoSkew.String() != "none" || ZipfSkew.String() != "zipf" || NeedleThreadSkew.String() != "needle-and-thread" {
+		t.Fatal("skew strings")
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	a := mustWorld(t, baseCfg(), 42)
+	b := mustWorld(t, baseCfg(), 42)
+	for rid := range a.R {
+		for j := range a.R[rid] {
+			if a.R[rid][j] != b.R[rid][j] {
+				t.Fatal("same-seed worlds differ")
+			}
+		}
+	}
+	ma := a.Sample(100, stats.NewRNG(1))
+	mb := b.Sample(100, stats.NewRNG(1))
+	for i := range ma.Y {
+		if ma.Y[i] != mb.Y[i] {
+			t.Fatal("same-seed samples differ")
+		}
+	}
+}

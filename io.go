@@ -1,0 +1,69 @@
+package hamlet
+
+import (
+	"io"
+
+	"hamlet/internal/dataset"
+	"hamlet/internal/relational"
+)
+
+// Data interchange and schema-theory surface: CSV ingestion with dictionary
+// encoding, declarative dataset specs, and the Appendix C normalization
+// machinery (closure, candidate keys, minimal cover, BCNF decomposition,
+// lossless-join verification).
+
+type (
+	// Dictionary maps a CSV column's category labels to codes and back.
+	Dictionary = relational.Dictionary
+	// ReadCSVOptions configures CSV ingestion.
+	ReadCSVOptions = relational.ReadCSVOptions
+	// SchemaSpec declares a normalized dataset over CSV files.
+	SchemaSpec = dataset.SchemaSpec
+	// AttrSpec declares one attribute table inside a SchemaSpec.
+	AttrSpec = dataset.AttrSpec
+	// Schema is a relation schema produced by BCNF decomposition.
+	Schema = relational.Schema
+)
+
+// ReadCSV ingests a header-first CSV stream into a dictionary-encoded table.
+func ReadCSV(name string, r io.Reader, opts ReadCSVOptions) (*Table, map[string]*Dictionary, error) {
+	return relational.ReadCSV(name, r, opts)
+}
+
+// WriteCSV writes a table as CSV, decoding through the dictionaries.
+func WriteCSV(t *Table, w io.Writer, dicts map[string]*Dictionary) error {
+	return relational.WriteCSV(t, w, dicts)
+}
+
+// LoadDataset reads a JSON schema spec and materializes the normalized
+// dataset from its CSV files.
+func LoadDataset(specPath string) (*Dataset, error) { return dataset.LoadDataset(specPath) }
+
+// Closure returns the attribute closure attrs⁺ under an FD set.
+func Closure(attrs []string, fds []FD) ([]string, error) { return relational.Closure(attrs, fds) }
+
+// IsSuperkey reports whether attrs determine every attribute of the relation.
+func IsSuperkey(attrs, all []string, fds []FD) (bool, error) {
+	return relational.IsSuperkey(attrs, all, fds)
+}
+
+// CandidateKeys returns all minimal keys of a relation under an FD set.
+func CandidateKeys(all []string, fds []FD) ([][]string, error) {
+	return relational.CandidateKeys(all, fds)
+}
+
+// MinimalCover returns a canonical cover of an FD set.
+func MinimalCover(fds []FD) ([]FD, error) { return relational.MinimalCover(fds) }
+
+// DecomposeBCNF losslessly decomposes a relation into Boyce–Codd Normal
+// Form — the "standard techniques" step of the paper's Corollary C.1 proof,
+// and the inverse of the KFK join: applied to a wide joined table it
+// recovers the entity/attribute-table split the decision rules operate on.
+func DecomposeBCNF(base string, all []string, fds []FD) ([]Schema, error) {
+	return relational.DecomposeBCNF(base, all, fds)
+}
+
+// LosslessJoin verifies a decomposition against a table instance.
+func LosslessJoin(t *Table, schemas []Schema) (bool, error) {
+	return relational.LosslessJoin(t, schemas)
+}
