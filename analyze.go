@@ -7,7 +7,30 @@ import (
 	"hamlet/internal/dataset"
 	"hamlet/internal/ml"
 	"hamlet/internal/ml/nb"
+	"hamlet/internal/obs"
 	"hamlet/internal/stats"
+)
+
+// Span is a node of the hierarchical trace attached to Report.Trace (see
+// internal/obs): per-stage wall-clock timings and counters for the whole
+// Analyze pipeline, renderable as text or JSON.
+type Span = obs.Span
+
+// minReliableElapsed is the wall-clock duration below which a measured
+// feature-selection time is treated as timer noise: speedups computed from
+// sub-millisecond timings say more about the clock than about the plans, so
+// Analyze falls back to the Evaluations ratio (see Report.SpeedupBasis).
+const minReliableElapsed = time.Millisecond
+
+// Speedup-basis values reported in Report.SpeedupBasis.
+const (
+	// SpeedupWallClock means Report.Speedup is the ratio of measured
+	// feature-selection wall-clock times (the paper's Figure 7 metric).
+	SpeedupWallClock = "wall-clock"
+	// SpeedupEvaluations means Report.Speedup is the ratio of subset
+	// evaluation counts — the hardware-independent runtime proxy, used when
+	// the measured times are below timer resolution.
+	SpeedupEvaluations = "evaluations"
 )
 
 // PlanOutcome reports one join plan's end-to-end result: the selected
@@ -45,8 +68,17 @@ type Report struct {
 	JoinAll PlanOutcome
 	// JoinOpt is the outcome of the advisor's plan.
 	JoinOpt PlanOutcome
-	// Speedup is JoinAll's selection time over JoinOpt's.
+	// Speedup is JoinAll's feature-selection cost over JoinOpt's, measured
+	// on the basis recorded in SpeedupBasis.
 	Speedup float64
+	// SpeedupBasis documents how Speedup was computed: SpeedupWallClock
+	// when both measured times are reliable, SpeedupEvaluations when the
+	// run was too fast to time and the subset-evaluation ratio is used
+	// instead, "" when neither basis is available.
+	SpeedupBasis string
+	// Trace is the span tree of the run: materialization vs selection vs
+	// train/eval time per plan, with per-stage counters.
+	Trace *Span
 }
 
 // Analyze runs the paper's end-to-end pipeline on a normalized dataset: the
@@ -64,7 +96,11 @@ func Analyze(d *Dataset, method FeatureSelector, adv *Advisor, seed uint64) (*Re
 	if adv == nil {
 		adv = NewAdvisor()
 	}
+	root := obs.StartSpan("analyze(" + d.Name + ")")
+	defer root.End()
+	sp := root.Child("advise")
 	optPlan, decisions, err := adv.JoinOptPlan(d)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -76,19 +112,33 @@ func Analyze(d *Dataset, method FeatureSelector, adv *Advisor, seed uint64) (*Re
 		Dataset:   d.Name,
 		Metric:    ml.MetricName(d.NumClasses()),
 		Decisions: decisions,
+		Trace:     root,
 	}
-	rep.JoinAll, err = evaluatePlan(d, d.JoinAllPlan(), method, split)
+	rep.JoinAll, err = evaluatePlan(d, d.JoinAllPlan(), method, split, root.Child("plan(JoinAll)"))
 	if err != nil {
 		return nil, err
 	}
-	rep.JoinOpt, err = evaluatePlan(d, optPlan, method, split)
+	rep.JoinOpt, err = evaluatePlan(d, optPlan, method, split, root.Child("plan(JoinOpt)"))
 	if err != nil {
 		return nil, err
 	}
-	if rep.JoinOpt.Elapsed > 0 {
-		rep.Speedup = float64(rep.JoinAll.Elapsed) / float64(rep.JoinOpt.Elapsed)
-	}
+	rep.Speedup, rep.SpeedupBasis = speedup(rep.JoinAll, rep.JoinOpt)
 	return rep, nil
+}
+
+// speedup compares the two plans' feature-selection costs. Wall-clock is
+// the paper's metric, but on datasets small enough that selection finishes
+// below timer resolution the ratio of two noise-dominated timings is
+// misleading (and used to surface as Speedup == 0); the subset-evaluation
+// ratio is the hardware-independent fallback.
+func speedup(all, opt PlanOutcome) (float64, string) {
+	if all.Elapsed >= minReliableElapsed && opt.Elapsed >= minReliableElapsed {
+		return float64(all.Elapsed) / float64(opt.Elapsed), SpeedupWallClock
+	}
+	if opt.Evaluations > 0 {
+		return float64(all.Evaluations) / float64(opt.Evaluations), SpeedupEvaluations
+	}
+	return 0, ""
 }
 
 // EvaluatePlan runs one feature selection pass over the given plan and
@@ -100,25 +150,41 @@ func EvaluatePlan(d *Dataset, p Plan, method FeatureSelector, seed uint64) (Plan
 	if err != nil {
 		return PlanOutcome{}, err
 	}
-	return evaluatePlan(d, p, method, split)
+	return evaluatePlan(d, p, method, split, nil)
 }
 
-func evaluatePlan(d *Dataset, p Plan, method FeatureSelector, split *Split) (PlanOutcome, error) {
+// evaluatePlan materializes the plan, selects features over the holdout
+// split, and scores the winner on the test split, recording each stage as a
+// child of sp (which may be nil for untraced runs).
+func evaluatePlan(d *Dataset, p Plan, method FeatureSelector, split *Split, sp *obs.Span) (PlanOutcome, error) {
+	defer sp.End()
+	mat := sp.Child("materialize")
 	design, err := d.Materialize(p)
+	mat.End()
 	if err != nil {
 		return PlanOutcome{}, err
 	}
+	mat.Add("rows", int64(design.NumRows()))
+	mat.Add("features", int64(design.NumFeatures()))
 	train, val, test := split.Apply(design)
+	sel := sp.Child("select(" + method.Name() + ")")
 	start := time.Now()
 	res, err := method.Select(nb.New(), train, val)
 	elapsed := time.Since(start)
+	sel.End()
 	if err != nil {
 		return PlanOutcome{}, err
 	}
+	sel.Add("evaluations", int64(res.Evaluations))
+	sel.Add("selected", int64(len(res.Features)))
+	te := sp.Child("train-eval")
 	testErr, err := ml.Evaluate(nb.New(), train, test, res.Features)
+	te.End()
 	if err != nil {
 		return PlanOutcome{}, err
 	}
+	sp.Add("evaluations", int64(res.Evaluations))
+	sp.Add("input_features", int64(design.NumFeatures()))
 	return PlanOutcome{
 		Plan:          p,
 		InputFeatures: design.NumFeatures(),

@@ -6,9 +6,17 @@
 //
 //	experiments                    # run everything at the full budget
 //	experiments -id fig7           # one experiment
+//	experiments -id fig3,fig4      # a comma-separated list
 //	experiments -quick             # the fast budget (CI-sized)
-//	experiments -scale 0.05       # override the mimic scale
+//	experiments -scale 0.05        # override the mimic scale
 //	experiments -csv out/          # also write each table as CSV
+//
+// Observability (see internal/obs):
+//
+//	experiments -id fig3 -quick -progress   # progress/ETA lines on stderr
+//	experiments -id fig7 -trace             # span tree with per-stage timings
+//	experiments -cpuprofile cpu.out -memprofile mem.out
+//	experiments -http :6060                 # live pprof + /debug/vars
 package main
 
 import (
@@ -20,19 +28,36 @@ import (
 	"time"
 
 	"hamlet/internal/experiments"
+	"hamlet/internal/obs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		id     = flag.String("id", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or \"all\"")
-		quick  = flag.Bool("quick", false, "use the fast budget instead of the full one")
-		scale  = flag.Float64("scale", 0, "override the mimic scale (0 keeps the budget default)")
-		worlds = flag.Int("worlds", 0, "override Monte Carlo world count (0 keeps default)")
-		l      = flag.Int("L", 0, "override training sets per world (0 keeps default)")
-		seed   = flag.Uint64("seed", 0, "override the seed (0 keeps default)")
-		csvDir = flag.String("csv", "", "directory to write per-table CSV files (optional)")
+		id       = flag.String("id", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+"), a comma-separated list, or \"all\"")
+		quick    = flag.Bool("quick", false, "use the fast budget instead of the full one")
+		scale    = flag.Float64("scale", 0, "override the mimic scale (0 keeps the budget default)")
+		worlds   = flag.Int("worlds", 0, "override Monte Carlo world count (0 keeps default)")
+		l        = flag.Int("L", 0, "override training sets per world (0 keeps default)")
+		seed     = flag.Uint64("seed", 0, "override the seed (0 keeps default)")
+		csvDir   = flag.String("csv", "", "directory to write per-table CSV files (optional)")
+		progress = flag.Bool("progress", false, "print periodic progress/ETA lines to stderr")
+		trace    = flag.Bool("trace", false, "print a span tree with per-stage timings and counters after each experiment")
+		prof     obs.ProfileFlags
 	)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	ids, err := parseIDs(*id, experiments.IDs())
+	if err != nil {
+		return err
+	}
 
 	budget := experiments.Full
 	if *quick {
@@ -51,29 +76,77 @@ func main() {
 		budget.Seed = *seed
 	}
 
-	ids := experiments.IDs()
-	if *id != "all" {
-		ids = []string{*id}
+	stop, err := prof.Start()
+	if err != nil {
+		return err
 	}
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: profiling: %v\n", err)
+		}
+	}()
+
 	for _, eid := range ids {
+		b := budget
+		if *progress {
+			b.Progress = obs.NewProgress(os.Stderr, eid, 2*time.Second)
+		}
+		var root *obs.Span
+		if *trace {
+			root = obs.StartSpan(eid)
+			b.Trace = root
+		}
 		start := time.Now()
-		res, err := experiments.Run(eid, budget)
+		res, err := experiments.Run(eid, b)
+		root.End()
+		b.Progress.Flush()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", eid, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", eid, err)
 		}
 		fmt.Printf("## %s (%v)\n\n", eid, time.Since(start).Round(time.Millisecond))
 		if err := res.WriteText(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: render %s: %v\n", eid, err)
-			os.Exit(1)
+			return fmt.Errorf("render %s: %w", eid, err)
+		}
+		if root != nil {
+			if err := root.WriteText(os.Stderr); err != nil {
+				return fmt.Errorf("trace %s: %w", eid, err)
+			}
 		}
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, res); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", eid, err)
-				os.Exit(1)
+				return fmt.Errorf("csv %s: %w", eid, err)
 			}
 		}
 	}
+	return nil
+}
+
+// parseIDs expands and validates the -id flag against the registry before
+// anything runs: "all" means every registered experiment, otherwise a
+// comma-separated list of known ids (duplicates preserved, blanks ignored).
+func parseIDs(arg string, valid []string) ([]string, error) {
+	if arg == "all" {
+		return valid, nil
+	}
+	known := make(map[string]bool, len(valid))
+	for _, id := range valid {
+		known[id] = true
+	}
+	var ids []string
+	for _, id := range strings.Split(arg, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !known[id] {
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s, or \"all\")", id, strings.Join(valid, ", "))
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no experiment ids in %q (valid: %s, or \"all\")", arg, strings.Join(valid, ", "))
+	}
+	return ids, nil
 }
 
 func writeCSVs(dir string, res *experiments.Result) error {

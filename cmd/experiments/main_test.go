@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseIDs(t *testing.T) {
+	valid := []string{"fig3", "fig4", "fig7"}
+	tests := []struct {
+		arg     string
+		want    []string
+		wantErr string
+	}{
+		{arg: "all", want: valid},
+		{arg: "fig3", want: []string{"fig3"}},
+		{arg: "fig7,fig3", want: []string{"fig7", "fig3"}},
+		{arg: " fig3 , fig4 ", want: []string{"fig3", "fig4"}},
+		{arg: "fig3,,fig4", want: []string{"fig3", "fig4"}},
+		{arg: "bogus", wantErr: `unknown experiment "bogus"`},
+		{arg: "fig3,bogus", wantErr: `unknown experiment "bogus"`},
+		{arg: "", wantErr: "no experiment ids"},
+		{arg: " , ", wantErr: "no experiment ids"},
+	}
+	for _, tc := range tests {
+		got, err := parseIDs(tc.arg, valid)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("parseIDs(%q) err = %v, want containing %q", tc.arg, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseIDs(%q): %v", tc.arg, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseIDs(%q) = %v, want %v", tc.arg, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseIDs(%q) = %v, want %v", tc.arg, got, tc.want)
+				break
+			}
+		}
+	}
+}

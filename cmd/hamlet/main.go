@@ -12,6 +12,9 @@
 //	hamlet -dataset Flights -tolerance 0.01 # relaxed thresholds (τ=10, ρ=4.2)
 //	hamlet -dataset Walmart -rule ROR       # use the ROR rule instead of TR
 //	hamlet -schema mydata/spec.json         # run on your own CSVs
+//	hamlet -dataset Walmart -analyze -trace # span tree: join vs select vs train time
+//	hamlet -analyze -cpuprofile cpu.out     # CPU profile of the run
+//	hamlet -analyze -http :6060             # live pprof + /debug/vars
 //
 // A schema spec is a JSON file declaring the entity CSV, target column, and
 // KFK references (see hamlet.SchemaSpec for the format).
@@ -25,6 +28,7 @@ import (
 	"text/tabwriter"
 
 	"hamlet"
+	"hamlet/internal/obs"
 )
 
 func main() {
@@ -37,8 +41,21 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.001, "error tolerance: 0.001 (τ=20, ρ=2.5) or 0.01 (τ=10, ρ=4.2)")
 		analyze   = flag.Bool("analyze", false, "also run end-to-end JoinAll vs JoinOpt feature selection")
 		method    = flag.String("method", "forward", "feature selection method for -analyze: forward, backward, filter-MI, filter-IGR")
+		trace     = flag.Bool("trace", false, "with -analyze, print the span tree (join vs selection vs training time) to stderr")
+		prof      obs.ProfileFlags
 	)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "hamlet: profiling: %v\n", err)
+		}
+	}()
 
 	adv := hamlet.NewAdvisor()
 	switch strings.ToUpper(*rule) {
@@ -116,7 +133,13 @@ func main() {
 				rep.JoinAll.InputFeatures, rep.JoinAll.TestError, rep.JoinAll.Elapsed.Round(1e6), rep.JoinAll.Evaluations)
 			fmt.Printf("    JoinOpt: %d features in, test error %.4f, selection %v (%d evals)\n",
 				rep.JoinOpt.InputFeatures, rep.JoinOpt.TestError, rep.JoinOpt.Elapsed.Round(1e6), rep.JoinOpt.Evaluations)
-			fmt.Printf("    speedup: %.1fx; selected (JoinOpt): %s\n", rep.Speedup, strings.Join(rep.JoinOpt.Selected, " "))
+			fmt.Printf("    speedup: %.1fx (%s basis); selected (JoinOpt): %s\n",
+				rep.Speedup, rep.SpeedupBasis, strings.Join(rep.JoinOpt.Selected, " "))
+			if *trace {
+				if err := rep.Trace.WriteText(os.Stderr); err != nil {
+					fatal("trace: %v", err)
+				}
+			}
 		}
 		fmt.Println()
 	}

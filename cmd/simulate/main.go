@@ -9,6 +9,8 @@
 //	simulate -scenario OneXr -ntrain 1000 -nr 40
 //	simulate -scenario AllXsXr -ntrain 500 -nr 100 -ds 4 -dr 4
 //	simulate -scenario OneXr -skew needle -needle 0.5   # malign FK skew
+//	simulate -worlds 100 -L 100 -progress               # progress/ETA on stderr
+//	simulate -trace -cpuprofile cpu.out -http :6060     # span tree + profiling
 package main
 
 import (
@@ -16,8 +18,10 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"hamlet"
+	"hamlet/internal/obs"
 )
 
 func main() {
@@ -35,8 +39,22 @@ func main() {
 		worlds   = flag.Int("worlds", 10, "world realizations")
 		l        = flag.Int("L", 24, "training sets per world")
 		seed     = flag.Uint64("seed", 1, "seed")
+		progress = flag.Bool("progress", false, "print periodic progress/ETA lines to stderr")
+		trace    = flag.Bool("trace", false, "print the Monte Carlo span tree to stderr on completion")
+		prof     obs.ProfileFlags
 	)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "simulate: profiling: %v\n", err)
+		}
+	}()
 
 	cfg := hamlet.SimConfig{DS: *ds, DR: *dr, NR: *nr, P: *p, ZipfS: *zipfS, NeedleP: *needle}
 	switch *scenario {
@@ -59,12 +77,28 @@ func main() {
 		fatal("unknown skew %q", *skew)
 	}
 
-	out, err := hamlet.BiasVariance(cfg, hamlet.BiasVarConfig{
+	bvCfg := hamlet.BiasVarConfig{
 		NTrain: *nTrain, NTest: *nTest, L: *l, Worlds: *worlds, Seed: *seed,
 		Learner: hamlet.NaiveBayes(),
-	})
+	}
+	if *progress {
+		bvCfg.Progress = obs.NewProgress(os.Stderr, "simulate", 2*time.Second)
+	}
+	var root *obs.Span
+	if *trace {
+		root = obs.StartSpan(fmt.Sprintf("simulate(%s, n_S=%d, |D_FK|=%d)", *scenario, *nTrain, *nr))
+		bvCfg.Span = root
+	}
+	out, err := hamlet.BiasVariance(cfg, bvCfg)
+	root.End()
+	bvCfg.Progress.Flush()
 	if err != nil {
 		fatal("%v", err)
+	}
+	if root != nil {
+		if err := root.WriteText(os.Stderr); err != nil {
+			fatal("trace: %v", err)
+		}
 	}
 	ror, err := hamlet.ROR(*nTrain, *nr, 2, hamlet.DefaultDelta)
 	if err != nil {

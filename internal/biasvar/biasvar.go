@@ -28,8 +28,16 @@ import (
 
 	"hamlet/internal/dataset"
 	"hamlet/internal/ml"
+	"hamlet/internal/obs"
 	"hamlet/internal/stats"
 	"hamlet/internal/synth"
+)
+
+// Monte Carlo instrumentation: worlds realized and models trained across
+// all bias–variance runs in the process.
+var (
+	worldsRun     = obs.C("biasvar.worlds")
+	modelsTrained = obs.C("biasvar.models_trained")
 )
 
 // Decomp aggregates the decomposition over a test set.
@@ -80,6 +88,13 @@ type Config struct {
 	// Learner trains the models; nil means Naive Bayes is supplied by the
 	// caller (Run requires it non-nil).
 	Learner ml.Learner
+	// Progress, when non-nil, receives one unit of total per (world,
+	// training set) pair and one step as each completes, driving the CLIs'
+	// -progress ETA lines. Nil disables reporting at zero cost.
+	Progress *obs.Progress
+	// Span, when non-nil, accumulates per-run counters (worlds, models
+	// trained) under the caller's trace. Nil disables tracing.
+	Span *obs.Span
 }
 
 // Validate checks the configuration.
@@ -109,6 +124,7 @@ func Run(simCfg synth.SimConfig, cfg Config) (map[string]Decomp, error) {
 		return nil, err
 	}
 	rng := stats.NewRNG(cfg.Seed)
+	cfg.Progress.AddTotal(int64(cfg.Worlds) * int64(cfg.L))
 	var classes []ModelClass
 	acc := make(map[string]*Decomp)
 	for wi := 0; wi < cfg.Worlds; wi++ {
@@ -116,6 +132,8 @@ func Run(simCfg synth.SimConfig, cfg Config) (map[string]Decomp, error) {
 		if err != nil {
 			return nil, err
 		}
+		worldsRun.Inc()
+		cfg.Span.Add("worlds", 1)
 		if classes == nil {
 			classes = StandardClasses(world)
 			for _, mc := range classes {
@@ -167,6 +185,9 @@ func RunWorld(world *synth.World, classes []ModelClass, cfg Config, rng *stats.R
 			}
 			preds[mc.Name][l] = ml.PredictAll(mod, test)
 		}
+		modelsTrained.Add(int64(len(classes)))
+		cfg.Span.Add("models_trained", int64(len(classes)))
+		cfg.Progress.Step(1)
 	}
 	out := make(map[string]Decomp, len(classes))
 	for _, mc := range classes {

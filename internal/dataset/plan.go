@@ -3,7 +3,17 @@ package dataset
 import (
 	"fmt"
 
+	"hamlet/internal/obs"
 	"hamlet/internal/relational"
+)
+
+// Materialization instrumentation: designs built, rows and cells gathered
+// into design matrices, and the per-design row-count distribution.
+var (
+	materializeCount = obs.C("dataset.materializations")
+	materializeRows  = obs.C("dataset.rows_materialized")
+	materializeCells = obs.C("dataset.cells_materialized")
+	materializeHist  = obs.H("dataset.design_rows", obs.Pow2Bounds(64, 16)...)
 )
 
 // Plan describes which attribute-table joins to perform and whether
@@ -110,6 +120,10 @@ func (d *Dataset) Materialize(p Plan) (*Design, error) {
 			out.Features = append(out.Features, Feature{Name: rc.Name, Card: rc.Card, Data: gathered, Source: at.Table.Name})
 		}
 	}
+	materializeCount.Inc()
+	materializeRows.Add(int64(out.NumRows()))
+	materializeCells.Add(int64(out.NumRows()) * int64(out.NumFeatures()))
+	materializeHist.Observe(int64(out.NumRows()))
 	return out, nil
 }
 

@@ -17,6 +17,8 @@ import (
 	"io"
 	"strings"
 	"text/tabwriter"
+
+	"hamlet/internal/obs"
 )
 
 // Budget controls experiment sizes.
@@ -32,6 +34,14 @@ type Budget struct {
 	MimicScale float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Progress, when non-nil, receives progress/ETA updates as the runner's
+	// Monte Carlo loops execute (the -progress flag of cmd/experiments).
+	// Nil disables reporting; it does not affect results.
+	Progress *obs.Progress
+	// Trace, when non-nil, is the parent span under which the runner
+	// records per-stage child spans (the -trace flag of cmd/experiments).
+	// Nil disables tracing; it does not affect results.
+	Trace *obs.Span
 }
 
 // Quick is the test/bench budget: small but large enough that every trend

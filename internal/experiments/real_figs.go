@@ -12,6 +12,7 @@ import (
 	"hamlet/internal/ml"
 	"hamlet/internal/ml/logreg"
 	"hamlet/internal/ml/nb"
+	"hamlet/internal/obs"
 	"hamlet/internal/stats"
 	"hamlet/internal/synth"
 )
@@ -23,23 +24,29 @@ func Methods() []fs.Method {
 }
 
 // prepared bundles a generated mimic with its holdout split, shared across
-// all plans and methods of one dataset so comparisons are paired.
+// all plans and methods of one dataset so comparisons are paired, plus the
+// budget's observability hooks for per-run progress and spans.
 type prepared struct {
 	spec  synth.MimicSpec
 	data  *dataset.Dataset
 	split *dataset.Split
+	prog  *obs.Progress
+	trace *obs.Span
 }
 
 func prepare(spec synth.MimicSpec, b Budget, seed uint64) (*prepared, error) {
+	sp := b.Trace.Child("generate(" + spec.Name + ")")
 	ds, err := spec.Generate(b.MimicScale, seed)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp.Add("rows", int64(ds.NumRows()))
 	split, err := dataset.DefaultSplit(ds.NumRows(), stats.NewRNG(seed+1))
 	if err != nil {
 		return nil, err
 	}
-	return &prepared{spec: spec, data: ds, split: split}, nil
+	return &prepared{spec: spec, data: ds, split: split, prog: b.Progress, trace: b.Trace}, nil
 }
 
 // fsRun is one (plan, method) end-to-end outcome.
@@ -54,6 +61,9 @@ type fsRun struct {
 // runFS materializes the plan, runs the method over the holdout split with
 // Naive Bayes, and reports the final test error of the selected subset.
 func (p *prepared) runFS(plan dataset.Plan, method fs.Method) (fsRun, error) {
+	defer p.prog.Step(1)
+	sp := p.trace.Child(fmt.Sprintf("%s: select(%s, tables=%d)", p.spec.Name, method.Name(), tablesInPlan(plan)))
+	defer sp.End()
 	design, err := p.data.Materialize(plan)
 	if err != nil {
 		return fsRun{}, err
@@ -65,6 +75,9 @@ func (p *prepared) runFS(plan dataset.Plan, method fs.Method) (fsRun, error) {
 	if err != nil {
 		return fsRun{}, err
 	}
+	sp.Add("evaluations", int64(res.Evaluations))
+	sp.Add("input_features", int64(design.NumFeatures()))
+	sp.Add("selected", int64(len(res.Features)))
 	testErr, err := ml.Evaluate(nb.New(), train, test, res.Features)
 	if err != nil {
 		return fsRun{}, err
@@ -117,6 +130,7 @@ func RunFig7(b Budget) (*Result, error) {
 		Columns: []string{"Dataset", "Method", "JoinAll_ms", "JoinOpt_ms", "Speedup", "EvalsAll", "EvalsOpt", "FeatsAll", "FeatsOpt"}}
 	selT := &Table{Title: "Figure 7: output feature sets (appendix F)",
 		Columns: []string{"Dataset", "Method", "Plan", "Selected"}}
+	b.Progress.AddTotal(int64(len(synth.Mimics()) * len(Methods()) * 2))
 	for si, spec := range synth.Mimics() {
 		p, err := prepare(spec, b, b.Seed+20+uint64(si))
 		if err != nil {
@@ -226,6 +240,7 @@ func RunFig8A(b Budget) (*Result, error) {
 			return nil, err
 		}
 		optKey := planKey(optPlan)
+		b.Progress.AddTotal(int64(2 * len(subsetPlans(p.data))))
 		for _, sp := range subsetPlans(p.data) {
 			fsRunF, err := p.runFS(sp.Plan, fs.Forward{})
 			if err != nil {
@@ -305,6 +320,7 @@ func RunFig8C(b Budget) (*Result, error) {
 	}
 	t := &Table{Title: "Figure 8(C): JoinOpt vs JoinAllNoFK (drop all FKs a priori)",
 		Columns: []string{"Dataset", "Method", "JoinOpt", "JoinAllNoFK"}}
+	b.Progress.AddTotal(int64(len(synth.Mimics()) * 2 * 2))
 	for si, spec := range synth.Mimics() {
 		p, err := prepare(spec, b, b.Seed+80+uint64(si))
 		if err != nil {
@@ -338,6 +354,7 @@ func RunFig9(b Budget) (*Result, error) {
 	}
 	t := &Table{Title: "Figure 9: logistic regression with L1/L2 regularization",
 		Columns: []string{"Dataset", "Metric", "L1_JoinAll", "L1_JoinOpt", "L2_JoinAll", "L2_JoinOpt"}}
+	b.Progress.AddTotal(int64(len(synth.Mimics()) * 2 * 2))
 	for si, spec := range synth.Mimics() {
 		p, err := prepare(spec, b, b.Seed+100+uint64(si))
 		if err != nil {
@@ -356,12 +373,15 @@ func RunFig9(b Budget) (*Result, error) {
 				}
 				train, val, test := p.split.Apply(design)
 				emb := fs.Embedded{Penalty: pen}
+				sp := b.Trace.Child(fmt.Sprintf("%s: embedded(%v, d=%d)", spec.Name, pen, design.NumFeatures()))
 				mod, err := emb.FitBest(train, val)
+				sp.End()
 				if err != nil {
 					return nil, err
 				}
 				metric := ml.MetricFor(spec.Classes)
 				row = append(row, f(metric(ml.PredictAll(mod, test), test.Y)))
+				b.Progress.Step(1)
 			}
 		}
 		t.Add(row...)
@@ -380,7 +400,9 @@ func RunTAN(b Budget) (*Result, error) {
 		Columns: []string{"n_S", "NB", "TAN", "TAN-NB"}}
 	sim := oneXrBase()
 	rng := stats.NewRNG(b.Seed + 120)
-	for _, nS := range []int{200, 500, 1000, 2000} {
+	nsGrid := []int{200, 500, 1000, 2000}
+	b.Progress.AddTotal(int64(len(nsGrid) * b.Worlds))
+	for _, nS := range nsGrid {
 		var nbErr, tanErr float64
 		for w := 0; w < b.Worlds; w++ {
 			world, err := synth.NewWorld(sim, rng.Uint64())
@@ -400,6 +422,7 @@ func RunTAN(b Budget) (*Result, error) {
 			}
 			nbErr += e1
 			tanErr += e2
+			b.Progress.Step(1)
 		}
 		nbErr /= float64(b.Worlds)
 		tanErr /= float64(b.Worlds)

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestIDsSortedAndUnique(t *testing.T) {
+	ids := IDs()
+	if len(ids) == 0 {
+		t.Fatal("IDs() is empty")
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("IDs() not sorted: %v", ids)
+	}
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestIDsMatchRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs() has %d entries, Registry has %d", len(ids), len(Registry))
+	}
+	for _, id := range ids {
+		if Registry[id] == nil {
+			t.Errorf("IDs() lists %q but Registry has no runner for it", id)
+		}
+	}
+	for _, want := range []string{"fig3", "fig7", "tan"} {
+		if Registry[want] == nil {
+			t.Errorf("Registry missing core experiment %q", want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownID(t *testing.T) {
+	_, err := Run("nope", Quick)
+	if err == nil {
+		t.Fatal("Run(nope) succeeded")
+	}
+	if !strings.Contains(err.Error(), `"nope"`) {
+		t.Errorf("error does not name the bad id: %v", err)
+	}
+}
+
+func TestRunKnownID(t *testing.T) {
+	// fig6 is a pure table (no Monte Carlo), so it is cheap even in tests.
+	res, err := Run("fig6", Quick)
+	if err != nil {
+		t.Fatalf("Run(fig6): %v", err)
+	}
+	if res == nil || len(res.Tables) == 0 {
+		t.Fatal("Run(fig6) returned no tables")
+	}
+	if res.ID != "fig6" {
+		t.Errorf("Result.ID = %q, want fig6", res.ID)
+	}
+}

@@ -12,15 +12,20 @@ import (
 )
 
 // simPoint runs the Monte Carlo bias–variance study for one simulation
-// configuration and training size.
+// configuration and training size, reporting progress and a per-point child
+// span through the budget's observability hooks.
 func simPoint(sim synth.SimConfig, nTrain int, b Budget, seed uint64) (map[string]biasvar.Decomp, error) {
+	sp := b.Trace.Child(fmt.Sprintf("biasvar(%s, n_S=%d, |D_FK|=%d)", sim.Scenario, nTrain, sim.NR))
+	defer sp.End()
 	return biasvar.Run(sim, biasvar.Config{
-		NTrain:  nTrain,
-		NTest:   b.NTest,
-		L:       b.L,
-		Worlds:  b.Worlds,
-		Seed:    seed,
-		Learner: nb.New(),
+		NTrain:   nTrain,
+		NTest:    b.NTest,
+		L:        b.L,
+		Worlds:   b.Worlds,
+		Seed:     seed,
+		Learner:  nb.New(),
+		Progress: b.Progress,
+		Span:     sp,
 	})
 }
 

@@ -77,6 +77,7 @@ func newCVEvaluator(l ml.Learner, pool *dataset.Design, k int, seed uint64) (*cv
 
 func (e *cvEvaluator) Eval(features []int) (float64, error) {
 	e.count++
+	evalCount.Inc()
 	total := 0.0
 	for i := 0; i < e.folds.K(); i++ {
 		val := e.foldVal[i]
@@ -167,6 +168,7 @@ func forwardWith(ev Evaluator, d int) (Result, error) {
 		current = append(current, pick)
 		best = pickErr
 	}
+	observeRun(ev.Count())
 	return Result{Features: current, ValError: best, Evaluations: ev.Count()}, nil
 }
 
@@ -201,5 +203,6 @@ func backwardWith(ev Evaluator, d int) (Result, error) {
 		current = append(current[:pick], current[pick+1:]...)
 		best = pickErr
 	}
+	observeRun(ev.Count())
 	return Result{Features: current, ValError: best, Evaluations: ev.Count()}, nil
 }

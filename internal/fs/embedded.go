@@ -73,6 +73,7 @@ func (e Embedded) Select(_ ml.Learner, train, val *dataset.Design) (Result, erro
 			active = append(active, all[j])
 		}
 	}
+	observeRun(evals)
 	return Result{Features: active, ValError: bestErr, Evaluations: evals}, nil
 }
 

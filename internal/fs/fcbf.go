@@ -91,5 +91,6 @@ func (f FCBF) Select(l ml.Learner, train, val *dataset.Design) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	observeRun(ev.Count())
 	return Result{Features: selected, ValError: valErr, Evaluations: ev.Count()}, nil
 }

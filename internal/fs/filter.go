@@ -82,5 +82,6 @@ func (f Filter) Select(l ml.Learner, train, val *dataset.Design) (Result, error)
 		}
 	}
 	sel := append([]int(nil), order[:bestK]...)
+	observeRun(ev.Count())
 	return Result{Features: sel, ValError: bestErr, Evaluations: ev.Count()}, nil
 }

@@ -22,7 +22,23 @@ import (
 	"hamlet/internal/dataset"
 	"hamlet/internal/ml"
 	"hamlet/internal/ml/nb"
+	"hamlet/internal/obs"
 )
+
+// Selection instrumentation: the per-run Evaluations counter generalized
+// into process-wide metrics — total subset evaluations across all methods,
+// completed selection runs, and the evaluations-per-run distribution.
+var (
+	evalCount  = obs.C("fs.subset_evaluations")
+	selectRuns = obs.C("fs.selection_runs")
+	evalHist   = obs.H("fs.evaluations_per_run", obs.Pow2Bounds(8, 16)...)
+)
+
+// observeRun records one completed selection run's evaluation count.
+func observeRun(evals int) {
+	selectRuns.Inc()
+	evalHist.Observe(int64(evals))
+}
 
 // Result is the outcome of one feature selection run.
 type Result struct {
@@ -86,6 +102,7 @@ type genericEvaluator struct {
 
 func (e *genericEvaluator) Eval(features []int) (float64, error) {
 	e.count++
+	evalCount.Inc()
 	mod, err := e.l.Fit(e.train, features)
 	if err != nil {
 		return 0, err
@@ -105,6 +122,7 @@ type nbEvaluator struct {
 
 func (e *nbEvaluator) Eval(features []int) (float64, error) {
 	e.count++
+	evalCount.Inc()
 	mod, err := nb.ModelFromStats(e.stats, features, e.alpha)
 	if err != nil {
 		return 0, err

@@ -8,7 +8,16 @@ import (
 	"fmt"
 
 	"hamlet/internal/dataset"
+	"hamlet/internal/obs"
 	"hamlet/internal/stats"
+)
+
+// Prediction instrumentation: batch predictions and rows scored. Counted at
+// batch granularity so the per-row hot loop stays untouched.
+var (
+	predictBatches = obs.C("ml.predict_batches")
+	predictRows    = obs.C("ml.rows_predicted")
+	predictHist    = obs.H("ml.rows_per_predict", obs.Pow2Bounds(64, 16)...)
 )
 
 // Model is a trained classifier instance: a prediction function over the
@@ -32,6 +41,9 @@ type Learner interface {
 
 // PredictAll applies the model to every row of the design matrix.
 func PredictAll(mod Model, m *dataset.Design) []int32 {
+	predictBatches.Inc()
+	predictRows.Add(int64(m.NumRows()))
+	predictHist.Observe(int64(m.NumRows()))
 	out := make([]int32, m.NumRows())
 	for i := range out {
 		out[i] = mod.Predict(m, i)

@@ -17,6 +17,17 @@ import (
 
 	"hamlet/internal/dataset"
 	"hamlet/internal/ml"
+	"hamlet/internal/obs"
+)
+
+// Naive Bayes instrumentation: full sufficient-statistics tabulations (the
+// expensive counting pass), O(1) subset-model assemblies (the wrapper-search
+// fast path), and Learner.Fit calls.
+var (
+	statsBuilds     = obs.C("nb.stats_builds")
+	statsRowsHist   = obs.H("nb.stats_rows", obs.Pow2Bounds(64, 16)...)
+	modelAssemblies = obs.C("nb.models_assembled")
+	fitCalls        = obs.C("nb.fits")
 )
 
 // Stats holds per-feature class-conditional counts for one training design
@@ -38,6 +49,8 @@ type Stats struct {
 
 // NewStats tabulates sufficient statistics for every feature of m.
 func NewStats(m *dataset.Design) *Stats {
+	statsBuilds.Inc()
+	statsRowsHist.Observe(int64(m.NumRows()))
 	s := &Stats{
 		N:           m.NumRows(),
 		NumClasses:  m.NumClasses,
@@ -139,6 +152,7 @@ func ModelFromStats(s *Stats, features []int, alpha float64) (*Model, error) {
 	if alpha <= 0 {
 		return nil, fmt.Errorf("nb: smoothing alpha must be positive, got %v", alpha)
 	}
+	modelAssemblies.Inc()
 	mod := &Model{stats: s, Features: features, Alpha: alpha}
 	mod.logPrior = make([]float64, s.NumClasses)
 	for c := range mod.logPrior {
@@ -166,5 +180,6 @@ func (l *Learner) Fit(m *dataset.Design, features []int) (ml.Model, error) {
 	if err := ml.CheckFeatures(m, features); err != nil {
 		return nil, err
 	}
+	fitCalls.Inc()
 	return ModelFromStats(NewStats(m), features, l.Alpha)
 }

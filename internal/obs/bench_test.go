@@ -1,0 +1,62 @@
+package obs
+
+import "testing"
+
+// The nil-receiver and disabled fast paths are the package's core contract:
+// instrumented hot paths must cost nothing measurable when observability is
+// off. These benchmarks pin those paths.
+
+func BenchmarkNilSpanOps(b *testing.B) {
+	var s *Span
+	for i := 0; i < b.N; i++ {
+		c := s.Child("x")
+		c.Add("n", 1)
+		c.End()
+	}
+}
+
+func BenchmarkSpanAdd(b *testing.B) {
+	s := StartSpan("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add("n", 1)
+	}
+}
+
+func BenchmarkCounterAddEnabled(b *testing.B) {
+	SetEnabled(true)
+	c := &Counter{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	c := &Counter{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	SetEnabled(true)
+	h := newHistogram(Pow2Bounds(64, 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xffff))
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	h := newHistogram(Pow2Bounds(64, 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xffff))
+	}
+}

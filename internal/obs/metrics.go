@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing process-wide metric. The zero value
+// is usable; a nil Counter no-ops.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter when the metrics layer is enabled.
+func (c *Counter) Add(delta int64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a last-value-wins process-wide metric.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set records the current value when the metrics layer is enabled.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.n.Store(v)
+}
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.n.Load()
+}
+
+// Histogram is a bounded histogram: observations are counted into buckets
+// delimited by inclusive upper bounds, with one implicit overflow bucket.
+// Updates are lock-free atomics.
+type Histogram struct {
+	bounds  []int64 // sorted inclusive upper bounds; len(buckets) == len(bounds)+1
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// newHistogram builds a histogram over sorted inclusive upper bounds.
+func newHistogram(bounds []int64) *Histogram {
+	bs := append([]int64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value when the metrics layer is enabled.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// rendering: per-bucket counts labeled "<=bound" plus a ">bound" overflow.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current buckets, omitting empty ones.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if s.Buckets == nil {
+			s.Buckets = make(map[string]int64)
+		}
+		label := fmt.Sprintf(">%d", h.bounds[len(h.bounds)-1])
+		if i < len(h.bounds) {
+			label = fmt.Sprintf("<=%d", h.bounds[i])
+		}
+		s.Buckets[label] = n
+	}
+	return s
+}
+
+// Pow2Bounds returns n inclusive upper bounds starting at lo and doubling:
+// lo, 2lo, 4lo, ... — the default bucketing for row/evaluation counts whose
+// interesting range spans orders of magnitude.
+func Pow2Bounds(lo int64, n int) []int64 {
+	if lo < 1 {
+		lo = 1
+	}
+	out := make([]int64, 0, n)
+	for v, i := lo, 0; i < n; v, i = v*2, i+1 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Registry is a named collection of metrics. Metrics are created on first
+// use and live for the life of the process.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry every instrumented package reports
+// into; published to expvar as "hamlet" by Publish.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls reuse the existing bounds).
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every metric into a JSON-marshalable map: counters and
+// gauges as numbers, histograms as HistogramSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Reset zeroes every registered metric (tests and CLI run boundaries).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.n.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.n.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+}
+
+// C returns a counter from the Default registry. Hot paths grab their
+// counters once at package init:
+//
+//	var joins = obs.C("relational.joins")
+func C(name string) *Counter { return Default.Counter(name) }
+
+// G returns a gauge from the Default registry.
+func G(name string) *Gauge { return Default.Gauge(name) }
+
+// H returns a histogram from the Default registry.
+func H(name string, bounds ...int64) *Histogram { return Default.Histogram(name, bounds...) }
+
+var publishOnce sync.Once
+
+// Publish exposes the Default registry on expvar under the name "hamlet",
+// so any process serving http (see ProfileFlags) reports live metrics at
+// /debug/vars. Safe to call more than once.
+func Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("hamlet", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+}

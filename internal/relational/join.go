@@ -1,6 +1,20 @@
 package relational
 
-import "fmt"
+import (
+	"fmt"
+
+	"hamlet/internal/obs"
+)
+
+// Join instrumentation: materializations performed, FK probes (one per
+// output row per joined table), cells gathered, and the row-count
+// distribution of materialized joins.
+var (
+	joinCount    = obs.C("relational.joins")
+	joinProbes   = obs.C("relational.join_probes")
+	joinCells    = obs.C("relational.cells_gathered")
+	joinRowsHist = obs.H("relational.join_rows", obs.Pow2Bounds(64, 16)...)
+)
 
 // ForeignKey describes a KFK reference: a column of the entity table whose
 // codes are row indices (RIDs) into an attribute table. Whether the FK's
@@ -48,6 +62,10 @@ func Join(s *Table, fkName string, r *Table) (*Table, error) {
 	if err := CheckRef(fk, r); err != nil {
 		return nil, err
 	}
+	joinCount.Inc()
+	joinProbes.Add(int64(fk.Len()))
+	joinCells.Add(int64(fk.Len()) * int64(len(r.Columns())))
+	joinRowsHist.Observe(int64(fk.Len()))
 	out := NewTable(s.Name + "⋈" + r.Name)
 	for _, c := range s.Columns() {
 		if err := out.AddColumn(c); err != nil {

@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench.sh — run the repo's benchmark suite and snapshot the results as JSON.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite -> BENCH_<YYYY-MM-DD>.json
+#   scripts/bench.sh ForwardSel      # only benchmarks matching the pattern
+#   BENCHTIME=1x scripts/bench.sh    # override -benchtime (default 1s)
+#
+# The JSON is a flat array of {name, iterations, ns_per_op, bytes_per_op,
+# allocs_per_op} objects, one per benchmark line, suitable for diffing
+# across commits (e.g. to watch the obs-disabled overhead pair
+# BenchmarkForwardSelection / BenchmarkForwardSelectionObsOff).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+benchtime="${BENCHTIME:-1s}"
+out="BENCH_$(date +%F).json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "bench.sh: go test -run ^\$ -bench $pattern -benchtime $benchtime -benchmem ./..." >&2
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... | tee "$raw" >&2
+
+awk '
+BEGIN { print "[" }
+$1 ~ /^Benchmark/ && NF >= 3 {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2; ns = $3; bytes = "null"; allocs = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i-1)
+        if ($(i) == "B/op")      bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, bytes, allocs
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "bench.sh: wrote $(grep -c '"name"' "$out") results to $out" >&2
