@@ -1,0 +1,156 @@
+// Command benchdiff compares two benchmark snapshots and gates on perf
+// regressions, closing the loop that scripts/bench.sh opens: bench.sh
+// snapshots the suite per commit, benchdiff says whether the join-avoidance
+// speedups (and everything else) held between two of them.
+//
+// Usage:
+//
+//	benchdiff old.json new.json            # any mix of formats
+//	benchdiff -threshold 0.05 old.json new.json
+//	go test -run '^$' -bench . -count 5 ./... > new.txt
+//	benchdiff BENCH_2026-08-06.json new.txt
+//
+// Inputs may be bench.sh snapshots ({"meta": ..., "benchmarks": ...}), the
+// legacy bare-array snapshots from earlier commits, or raw `go test -bench`
+// output. Benchmarks are aligned by name; with -count N samples on both
+// sides, a Welch t-test (internal/stats) filters run-to-run noise at level
+// -alpha, and single-sample comparisons fall back to the threshold alone.
+//
+// Exit status: 0 when no benchmark regressed beyond -threshold, 1 when at
+// least one did (so CI can gate on it), 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"hamlet/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests can drive the full CLI —
+// flags, parsing, report rendering, and exit-code policy — in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.10, "regression threshold on the ns/op delta (0.10 = 10% slower)")
+	alpha := fs.Float64("alpha", 0.05, "significance level for the Welch t-test when both sides have multiple samples")
+	quiet := fs.Bool("q", false, "suppress the per-benchmark table; print only regressions and the geomean")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchdiff [flags] old.json new.json\n\ncompare two bench.sh snapshots (or raw `go test -bench` output) and exit 1 on regression\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldSnap, err := bench.ParseFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newSnap, err := bench.ParseFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	rep := bench.Diff(oldSnap, newSnap)
+	if len(rep.Deltas) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmarks in common")
+		return 2
+	}
+	regressions := rep.Regressions(*threshold, *alpha)
+	if !*quiet {
+		writeTable(stdout, rep, *threshold, *alpha)
+	}
+	fmt.Fprintf(stdout, "geomean: %+.2f%% over %d benchmarks", 100*(rep.Geomean-1), len(rep.Deltas))
+	if len(rep.OnlyOld) > 0 || len(rep.OnlyNew) > 0 {
+		fmt.Fprintf(stdout, " (%d only in old, %d only in new)", len(rep.OnlyOld), len(rep.OnlyNew))
+	}
+	fmt.Fprintln(stdout)
+	if len(regressions) > 0 {
+		fmt.Fprintf(stdout, "REGRESSION: %d benchmark(s) slower than %+.0f%%:\n", len(regressions), 100**threshold)
+		for _, d := range regressions {
+			fmt.Fprintf(stdout, "  %s %+.1f%% (%s -> %s)%s\n",
+				d.Name, 100*d.Delta, ns(d.OldNs), ns(d.NewNs), pNote(d))
+		}
+		return 1
+	}
+	return 0
+}
+
+// writeTable renders the per-benchmark comparison, flagging each row as a
+// regression (>), an improvement (<), or noise-level (~).
+func writeTable(w io.Writer, rep *bench.Report, threshold, alpha float64) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tp\tallocs/op\t")
+	for _, d := range rep.Deltas {
+		mark := "~"
+		switch {
+		case d.Delta > threshold && d.Significant(alpha):
+			mark = ">"
+		case d.Delta < -threshold && d.Significant(alpha):
+			mark = "<"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%+.1f%%\t%s\t%s\t%s\n",
+			d.Name, ns(d.OldNs), ns(d.NewNs), 100*d.Delta, pString(d), allocsString(d), mark)
+	}
+	tw.Flush()
+	for _, name := range rep.OnlyOld {
+		fmt.Fprintf(w, "only in old: %s\n", name)
+	}
+	for _, name := range rep.OnlyNew {
+		fmt.Fprintf(w, "only in new: %s\n", name)
+	}
+}
+
+// ns renders a ns/op mean compactly.
+func ns(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.4gms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.4gµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.4gns", v)
+	}
+}
+
+// pString renders the p-value column ("-" when untestable).
+func pString(d bench.Delta) string {
+	if math.IsNaN(d.P) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", d.P)
+}
+
+// pNote annotates a regression line with its statistical backing.
+func pNote(d bench.Delta) string {
+	if math.IsNaN(d.P) {
+		return " [single sample; rerun bench.sh with COUNT>1 for significance]"
+	}
+	return fmt.Sprintf(" [p=%.3f, n=%d/%d]", d.P, d.NOld, d.NNew)
+}
+
+// allocsString renders the allocs/op transition, or "-" when unrecorded.
+func allocsString(d bench.Delta) string {
+	if math.IsNaN(d.OldAllocs) || math.IsNaN(d.NewAllocs) {
+		return "-"
+	}
+	if d.OldAllocs == d.NewAllocs {
+		return fmt.Sprintf("%.0f", d.NewAllocs)
+	}
+	return fmt.Sprintf("%.0f->%.0f", d.OldAllocs, d.NewAllocs)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExitCodeOnCleanComparison(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"testdata/old.json", "testdata/new_ok.json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "geomean:") {
+		t.Errorf("missing geomean line:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("clean comparison reported a regression:\n%s", out.String())
+	}
+}
+
+func TestExitCodeOnRegression(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"testdata/old.json", "testdata/new_regressed.json"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "REGRESSION") || !strings.Contains(text, "BenchmarkForwardSelection") {
+		t.Errorf("regression report missing offender:\n%s", text)
+	}
+	// The +25% injected regression should carry its p-value and sample
+	// counts (3 samples per side in the fixtures).
+	if !strings.Contains(text, "n=3/3") {
+		t.Errorf("regression line missing sample counts:\n%s", text)
+	}
+}
+
+func TestThresholdFlagLoosensGate(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-threshold", "0.5", "testdata/old.json", "testdata/new_regressed.json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with 50%% threshold; stdout:\n%s", code, out.String())
+	}
+}
+
+func TestQuietSuppressesTable(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-q", "testdata/old.json", "testdata/new_ok.json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.Contains(out.String(), "BenchmarkKFKJoin") {
+		t.Errorf("-q should suppress the per-benchmark table:\n%s", out.String())
+	}
+}
+
+func TestUsageAndParseErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"one-arg.json"}, &out, &errb); code != 2 {
+		t.Errorf("missing arg: exit = %d, want 2", code)
+	}
+	if code := run([]string{"testdata/old.json", "testdata/does_not_exist.json"}, &out, &errb); code != 2 {
+		t.Errorf("missing file: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-threshold", "oops", "a", "b"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+}
+
+func TestSelfComparisonIsAlwaysClean(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"testdata/old.json", "testdata/old.json"}, &out, &errb); code != 0 {
+		t.Fatalf("self-diff exit = %d, want 0; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "geomean: +0.00%") {
+		t.Errorf("self-diff geomean should be exactly zero:\n%s", out.String())
+	}
+}

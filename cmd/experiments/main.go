@@ -17,11 +17,15 @@
 //	experiments -id fig7 -trace             # span tree with per-stage timings
 //	experiments -cpuprofile cpu.out -memprofile mem.out
 //	experiments -http :6060                 # live pprof + /debug/vars
+//	experiments -id fig3 -out runs/fig3     # persist run artifacts, including
+//	                                        # per-figure results.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -49,6 +53,7 @@ func run() error {
 		csvDir   = flag.String("csv", "", "directory to write per-table CSV files (optional)")
 		progress = flag.Bool("progress", false, "print periodic progress/ETA lines to stderr")
 		trace    = flag.Bool("trace", false, "print a span tree with per-stage timings and counters after each experiment")
+		outDir   = flag.String("out", "", "write run artifacts (manifest.json, events.jsonl, metrics.json, trace.json, results.jsonl) to this directory")
 		prof     obs.ProfileFlags
 	)
 	prof.Register(flag.CommandLine)
@@ -86,35 +91,93 @@ func run() error {
 		}
 	}()
 
-	for _, eid := range ids {
-		b := budget
-		if *progress {
-			b.Progress = obs.NewProgress(os.Stderr, eid, 2*time.Second)
-		}
-		var root *obs.Span
-		if *trace {
-			root = obs.StartSpan(eid)
-			b.Trace = root
-		}
-		start := time.Now()
-		res, err := experiments.Run(eid, b)
-		root.End()
-		b.Progress.Flush()
-		if err != nil {
-			return fmt.Errorf("%s: %w", eid, err)
-		}
-		fmt.Printf("## %s (%v)\n\n", eid, time.Since(start).Round(time.Millisecond))
-		if err := res.WriteText(os.Stdout); err != nil {
-			return fmt.Errorf("render %s: %w", eid, err)
-		}
-		if root != nil {
-			if err := root.WriteText(os.Stderr); err != nil {
-				return fmt.Errorf("trace %s: %w", eid, err)
+	runDir, err := obs.OpenRunDir(*outDir, obs.CollectRunInfo("experiments", flag.CommandLine))
+	if err != nil {
+		return err
+	}
+	var runRoot *obs.Span
+	if runDir != nil {
+		runRoot = obs.StartSpan("experiments")
+	}
+
+	runErr := func() error {
+		for _, eid := range ids {
+			b := budget
+			if *progress || runDir != nil {
+				w := io.Writer(io.Discard)
+				if *progress {
+					w = os.Stderr
+				}
+				b.Progress = obs.NewProgress(w, eid, 2*time.Second)
+				b.Progress.AttachEvents(runDir.Events())
+			}
+			var root *obs.Span
+			if *trace || runDir != nil {
+				root = obs.StartSpan(eid)
+				b.Trace = root
+			}
+			start := time.Now()
+			res, err := experiments.Run(eid, b)
+			root.End()
+			runRoot.Adopt(root)
+			b.Progress.Flush()
+			if err != nil {
+				return fmt.Errorf("%s: %w", eid, err)
+			}
+			elapsed := time.Since(start)
+			runDir.Events().Emit("experiment",
+				slog.String("id", eid),
+				slog.Float64("duration_ms", float64(elapsed)/float64(time.Millisecond)),
+				slog.Int("tables", len(res.Tables)),
+			)
+			if err := appendResults(runDir, res); err != nil {
+				return fmt.Errorf("results %s: %w", eid, err)
+			}
+			fmt.Printf("## %s (%v)\n\n", eid, elapsed.Round(time.Millisecond))
+			if err := res.WriteText(os.Stdout); err != nil {
+				return fmt.Errorf("render %s: %w", eid, err)
+			}
+			if *trace {
+				if err := root.WriteText(os.Stderr); err != nil {
+					return fmt.Errorf("trace %s: %w", eid, err)
+				}
+			}
+			if *csvDir != "" {
+				if err := writeCSVs(*csvDir, res); err != nil {
+					return fmt.Errorf("csv %s: %w", eid, err)
+				}
 			}
 		}
-		if *csvDir != "" {
-			if err := writeCSVs(*csvDir, res); err != nil {
-				return fmt.Errorf("csv %s: %w", eid, err)
+		return nil
+	}()
+	runRoot.End()
+	if cerr := runDir.Close(runRoot, runErr); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	return runErr
+}
+
+// appendResults streams every table row of one experiment into the run's
+// results.jsonl: one self-describing line per row, keyed by experiment id,
+// table title, and column name, so figure data can be re-plotted without
+// re-running the Monte Carlo sweep.
+func appendResults(runDir *obs.RunDir, res *experiments.Result) error {
+	if runDir == nil {
+		return nil
+	}
+	for _, tab := range res.Tables {
+		for _, row := range tab.Rows {
+			cells := make(map[string]string, len(tab.Columns))
+			for i, col := range tab.Columns {
+				cells[col] = row[i]
+			}
+			line := map[string]any{
+				"experiment": res.ID,
+				"table":      tab.Title,
+				"cells":      cells,
+			}
+			if err := runDir.AppendResult(line); err != nil {
+				return err
 			}
 		}
 	}

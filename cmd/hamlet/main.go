@@ -15,6 +15,8 @@
 //	hamlet -dataset Walmart -analyze -trace # span tree: join vs select vs train time
 //	hamlet -analyze -cpuprofile cpu.out     # CPU profile of the run
 //	hamlet -analyze -http :6060             # live pprof + /debug/vars
+//	hamlet -analyze -out runs/walmart       # persist run artifacts (manifest,
+//	                                        # events.jsonl, metrics, trace)
 //
 // A schema spec is a JSON file declaring the entity CSV, target column, and
 // KFK references (see hamlet.SchemaSpec for the format).
@@ -23,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -42,6 +45,7 @@ func main() {
 		analyze   = flag.Bool("analyze", false, "also run end-to-end JoinAll vs JoinOpt feature selection")
 		method    = flag.String("method", "forward", "feature selection method for -analyze: forward, backward, filter-MI, filter-IGR")
 		trace     = flag.Bool("trace", false, "with -analyze, print the span tree (join vs selection vs training time) to stderr")
+		outDir    = flag.String("out", "", "write run artifacts (manifest.json, events.jsonl, metrics.json, trace.json) to this directory")
 		prof      obs.ProfileFlags
 	)
 	prof.Register(flag.CommandLine)
@@ -56,6 +60,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hamlet: profiling: %v\n", err)
 		}
 	}()
+
+	runDir, err := obs.OpenRunDir(*outDir, obs.CollectRunInfo("hamlet", flag.CommandLine))
+	if err != nil {
+		fatal("%v", err)
+	}
+	var root *obs.Span
+	if runDir != nil {
+		root = obs.StartSpan("hamlet")
+	}
 
 	adv := hamlet.NewAdvisor()
 	switch strings.ToUpper(*rule) {
@@ -103,6 +116,7 @@ func main() {
 	}
 
 	for _, ds := range datasets {
+		dsSpan := root.Child("dataset(" + ds.Name + ")")
 		decisions, err := adv.Decide(ds)
 		if err != nil {
 			fatal("decide %s: %v", ds.Name, err)
@@ -117,6 +131,15 @@ func main() {
 				verdict = "AVOID join"
 			}
 			fmt.Fprintf(tw, "  %s\t%s\t%.2f\t%.2f\t%s\t%s\n", dec.Attr, dec.FK, dec.TR, dec.ROR, verdict, dec.Reason)
+			runDir.Events().Emit("decision",
+				slog.String("dataset", ds.Name),
+				slog.String("attr", dec.Attr),
+				slog.String("fk", dec.FK),
+				slog.Float64("tr", dec.TR),
+				slog.Float64("ror", dec.ROR),
+				slog.Bool("avoid", dec.Considered && dec.Avoid),
+				slog.String("reason", dec.Reason),
+			)
 		}
 		tw.Flush()
 		if *analyze {
@@ -128,6 +151,17 @@ func main() {
 			if err != nil {
 				fatal("analyze %s: %v", ds.Name, err)
 			}
+			dsSpan.Adopt(rep.Trace)
+			runDir.Events().Emit("analyze",
+				slog.String("dataset", ds.Name),
+				slog.String("method", *method),
+				slog.Float64("joinall_test_error", rep.JoinAll.TestError),
+				slog.Float64("joinopt_test_error", rep.JoinOpt.TestError),
+				slog.Int("joinall_evaluations", rep.JoinAll.Evaluations),
+				slog.Int("joinopt_evaluations", rep.JoinOpt.Evaluations),
+				slog.Float64("speedup", rep.Speedup),
+				slog.String("speedup_basis", rep.SpeedupBasis),
+			)
 			fmt.Printf("  end-to-end (%s, metric %s):\n", *method, rep.Metric)
 			fmt.Printf("    JoinAll: %d features in, test error %.4f, selection %v (%d evals)\n",
 				rep.JoinAll.InputFeatures, rep.JoinAll.TestError, rep.JoinAll.Elapsed.Round(1e6), rep.JoinAll.Evaluations)
@@ -141,7 +175,12 @@ func main() {
 				}
 			}
 		}
+		dsSpan.End()
 		fmt.Println()
+	}
+	root.End()
+	if err := runDir.Close(root, nil); err != nil {
+		fatal("run artifacts: %v", err)
 	}
 }
 

@@ -11,11 +11,14 @@
 //	simulate -scenario OneXr -skew needle -needle 0.5   # malign FK skew
 //	simulate -worlds 100 -L 100 -progress               # progress/ETA on stderr
 //	simulate -trace -cpuprofile cpu.out -http :6060     # span tree + profiling
+//	simulate -out runs/onexr                            # persist run artifacts
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"text/tabwriter"
 	"time"
@@ -41,6 +44,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "seed")
 		progress = flag.Bool("progress", false, "print periodic progress/ETA lines to stderr")
 		trace    = flag.Bool("trace", false, "print the Monte Carlo span tree to stderr on completion")
+		outDir   = flag.String("out", "", "write run artifacts (manifest.json, events.jsonl, metrics.json, trace.json) to this directory")
 		prof     obs.ProfileFlags
 	)
 	prof.Register(flag.CommandLine)
@@ -77,15 +81,25 @@ func main() {
 		fatal("unknown skew %q", *skew)
 	}
 
+	runDir, err := obs.OpenRunDir(*outDir, obs.CollectRunInfo("simulate", flag.CommandLine))
+	if err != nil {
+		fatal("%v", err)
+	}
+
 	bvCfg := hamlet.BiasVarConfig{
 		NTrain: *nTrain, NTest: *nTest, L: *l, Worlds: *worlds, Seed: *seed,
 		Learner: hamlet.NaiveBayes(),
 	}
-	if *progress {
-		bvCfg.Progress = obs.NewProgress(os.Stderr, "simulate", 2*time.Second)
+	if *progress || runDir != nil {
+		w := io.Writer(io.Discard)
+		if *progress {
+			w = os.Stderr
+		}
+		bvCfg.Progress = obs.NewProgress(w, "simulate", 2*time.Second)
+		bvCfg.Progress.AttachEvents(runDir.Events())
 	}
 	var root *obs.Span
-	if *trace {
+	if *trace || runDir != nil {
 		root = obs.StartSpan(fmt.Sprintf("simulate(%s, n_S=%d, |D_FK|=%d)", *scenario, *nTrain, *nr))
 		bvCfg.Span = root
 	}
@@ -95,7 +109,7 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	if root != nil {
+	if *trace {
 		if err := root.WriteText(os.Stderr); err != nil {
 			fatal("trace: %v", err)
 		}
@@ -117,8 +131,19 @@ func main() {
 	for _, name := range []string{"UseAll", "NoJoin", "NoFK"} {
 		d := out[name]
 		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\t%.4f\n", name, d.TestError, d.Bias, d.NetVariance, d.Noise)
+		runDir.Events().Emit("decomposition",
+			slog.String("model", name),
+			slog.String("scenario", *scenario),
+			slog.Float64("test_error", d.TestError),
+			slog.Float64("bias", d.Bias),
+			slog.Float64("net_variance", d.NetVariance),
+			slog.Float64("noise", d.Noise),
+		)
 	}
 	tw.Flush()
+	if err := runDir.Close(root, nil); err != nil {
+		fatal("run artifacts: %v", err)
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sort"
+	"time"
+)
+
+// EventLog is the persisted half of the observability layer: a structured
+// JSONL event stream built on log/slog's JSON handler. Where spans and the
+// metrics registry die with the process, an EventLog records what a run did
+// — run boundaries, span ends, progress milestones, experiment results — as
+// one self-describing JSON object per line, so the trajectory of a Monte
+// Carlo campaign can be replayed, diffed, and audited after the fact.
+//
+// Schema: every line has "time" (RFC 3339 with sub-second precision) and
+// "msg" (the event kind); the remaining keys are per-kind attributes. Kinds
+// emitted by this package:
+//
+//	run_start   tool, commit (when stamped)
+//	span_end    path, duration_ms, counters{...}
+//	progress    label, done, total
+//	run_end     ok, duration_ms, error (when failed)
+//
+// CLIs add their own kinds (e.g. "decision", "analyze", "experiment") via
+// Emit. All methods no-op on a nil receiver, so library code holds an
+// *EventLog unconditionally; writes are serialized by the slog handler.
+type EventLog struct {
+	log *slog.Logger
+}
+
+// NewEventLog returns an event log writing JSONL to w. The caller owns w
+// (an EventLog never closes it).
+func NewEventLog(w io.Writer) *EventLog { return newEventLog(w, nil) }
+
+// newEventLog is the test seam: a non-nil fixed time replaces the wall
+// clock on every line, making the byte stream deterministic (golden files).
+func newEventLog(w io.Writer, fixed *time.Time) *EventLog {
+	opts := &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) > 0 {
+				return a
+			}
+			switch a.Key {
+			case slog.LevelKey:
+				return slog.Attr{} // every event is informational; drop the key
+			case slog.TimeKey:
+				if fixed != nil {
+					return slog.Time(slog.TimeKey, *fixed)
+				}
+			}
+			return a
+		},
+	}
+	return &EventLog{log: slog.New(slog.NewJSONHandler(w, opts))}
+}
+
+// Emit writes one event of the given kind with the given attributes.
+func (l *EventLog) Emit(kind string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.log.LogAttrs(context.Background(), slog.LevelInfo, kind, attrs...)
+}
+
+// RunStart records the beginning of a run described by info.
+func (l *EventLog) RunStart(info *RunInfo) {
+	if l == nil {
+		return
+	}
+	attrs := []slog.Attr{slog.String("tool", info.Tool)}
+	if info.Commit != "" {
+		attrs = append(attrs, slog.String("commit", info.Commit))
+	}
+	l.Emit("run_start", attrs...)
+}
+
+// RunEnd records the end of a run: its outcome and total duration.
+func (l *EventLog) RunEnd(runErr error, elapsed time.Duration) {
+	if l == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.Bool("ok", runErr == nil),
+		slog.Float64("duration_ms", durationMS(elapsed)),
+	}
+	if runErr != nil {
+		attrs = append(attrs, slog.String("error", runErr.Error()))
+	}
+	l.Emit("run_end", attrs...)
+}
+
+// Progress records one progress milestone (total may be 0 when unknown).
+func (l *EventLog) Progress(label string, done, total int64) {
+	if l == nil {
+		return
+	}
+	l.Emit("progress",
+		slog.String("label", label),
+		slog.Int64("done", done),
+		slog.Int64("total", total),
+	)
+}
+
+// SpanTree emits one span_end event per node of a finished span tree, in
+// depth-first order, each carrying its slash-separated path from the root,
+// its duration, and its counters (sorted by name). Emitting the tree at run
+// end — rather than hooking Span.End — keeps the hot path free of I/O.
+func (l *EventLog) SpanTree(s *Span) {
+	if l == nil || s == nil {
+		return
+	}
+	l.spanTree(s, s.Name())
+}
+
+func (l *EventLog) spanTree(s *Span, path string) {
+	attrs := []slog.Attr{
+		slog.String("path", path),
+		slog.Float64("duration_ms", durationMS(s.Duration())),
+	}
+	if counters := s.Counters(); len(counters) > 0 {
+		keys := make([]string, 0, len(counters))
+		for k := range counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		group := make([]any, 0, len(keys))
+		for _, k := range keys {
+			group = append(group, slog.Int64(k, counters[k]))
+		}
+		attrs = append(attrs, slog.Group("counters", group...))
+	}
+	l.Emit("span_end", attrs...)
+	for _, c := range s.Children() {
+		l.spanTree(c, path+"/"+c.Name())
+	}
+}
+
+// durationMS renders a duration as fractional milliseconds, the unit used
+// across the JSON artifacts (span trace, events).
+func durationMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -25,6 +25,9 @@ type Progress struct {
 	last  time.Time
 	total int64
 	done  int64
+	// events, when non-nil, receives one progress event per emitted line,
+	// persisting the milestones a -progress stderr stream shows live.
+	events *EventLog
 }
 
 // NewProgress returns a reporter writing to w at most once per every
@@ -40,6 +43,17 @@ func (p *Progress) SetLabel(label string) {
 	}
 	p.mu.Lock()
 	p.label = label
+	p.mu.Unlock()
+}
+
+// AttachEvents mirrors every emitted progress line into l as a typed
+// progress event (a nil l detaches).
+func (p *Progress) AttachEvents(l *EventLog) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.events = l
 	p.mu.Unlock()
 }
 
@@ -98,6 +112,7 @@ func (p *Progress) emit(now time.Time) {
 		line += fmt.Sprintf(" eta %s", eta.Round(time.Second))
 	}
 	fmt.Fprintln(p.w, line)
+	p.events.Progress(p.label, p.done, p.total)
 }
 
 // Done returns the completed unit count (0 on nil).

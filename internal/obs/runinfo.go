@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"flag"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RunInfo is a run manifest: everything needed to say which code, on which
+// machine shape, with which knobs, produced a set of artifacts. It is the
+// reproducibility half of the observability layer — the paper's speedup
+// claims are only comparable across commits when each number is pinned to a
+// commit SHA, a Go version, and the exact resolved flag set that produced
+// it.
+//
+// Determinism: for a fixed tool and flag set on a fixed toolchain, every
+// field except Start is identical from run to run, so manifests diff
+// cleanly (tests pin this).
+type RunInfo struct {
+	// Tool is the producing command ("hamlet", "simulate", "experiments").
+	Tool string `json:"tool"`
+	// Flags is the fully resolved flag set — every registered flag with its
+	// effective value, defaults included — which subsumes seeds, scales,
+	// and budget overrides.
+	Flags map[string]string `json:"flags"`
+	// Commit is the VCS revision stamped into the binary by the Go
+	// toolchain (empty when built without VCS info, e.g. go test binaries).
+	Commit string `json:"commit,omitempty"`
+	// CommitTime is the commit's author time, when stamped.
+	CommitTime string `json:"commit_time,omitempty"`
+	// Dirty reports uncommitted changes at build time, when stamped.
+	Dirty bool `json:"vcs_dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// GOOS and GOARCH identify the platform.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// GOMAXPROCS is the effective parallelism at collection time.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Start is the wall-clock run start (the one volatile field).
+	Start time.Time `json:"start,omitempty"`
+}
+
+// CollectRunInfo builds the manifest for a run of tool: build/VCS metadata
+// from debug.ReadBuildInfo, the runtime platform, and the resolved values
+// of every flag registered on fs (call after fs has been parsed; pass
+// flag.CommandLine from a CLI).
+func CollectRunInfo(tool string, fs *flag.FlagSet) *RunInfo {
+	info := &RunInfo{
+		Tool:       tool,
+		Flags:      make(map[string]string),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Start:      time.Now(),
+	}
+	if fs != nil {
+		fs.VisitAll(func(f *flag.Flag) {
+			info.Flags[f.Name] = f.Value.String()
+		})
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Commit = s.Value
+			case "vcs.time":
+				info.CommitTime = s.Value
+			case "vcs.modified":
+				info.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return info
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// newTestFlagSet mimics a CLI flag set after parsing: some flags set, some
+// left at their defaults (both must land in the manifest).
+func newTestFlagSet(t *testing.T) *flag.FlagSet {
+	t.Helper()
+	fs := flag.NewFlagSet("hamlet", flag.ContinueOnError)
+	fs.Uint64("seed", 1, "")
+	fs.Float64("scale", 0.1, "")
+	fs.String("dataset", "all", "")
+	fs.Bool("analyze", false, "")
+	if err := fs.Parse([]string{"-seed", "42", "-dataset", "Walmart"}); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestCollectRunInfoCapturesResolvedFlags(t *testing.T) {
+	info := CollectRunInfo("hamlet", newTestFlagSet(t))
+	if info.Tool != "hamlet" {
+		t.Errorf("Tool = %q", info.Tool)
+	}
+	want := map[string]string{"seed": "42", "dataset": "Walmart", "scale": "0.1", "analyze": "false"}
+	for k, v := range want {
+		if info.Flags[k] != v {
+			t.Errorf("Flags[%q] = %q, want %q (full: %v)", k, info.Flags[k], v, info.Flags)
+		}
+	}
+	if len(info.Flags) != len(want) {
+		t.Errorf("unexpected extra flags: %v", info.Flags)
+	}
+	if info.GoVersion != runtime.Version() || info.GOOS != runtime.GOOS || info.GOARCH != runtime.GOARCH {
+		t.Errorf("toolchain fields wrong: %+v", info)
+	}
+	if info.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d", info.GOMAXPROCS)
+	}
+	if info.Start.IsZero() {
+		t.Error("Start not stamped")
+	}
+}
+
+// TestRunInfoDeterminism pins the manifest's reproducibility contract: for
+// a fixed tool, flag set, and toolchain, two independently collected
+// manifests serialize to byte-identical JSON once the one volatile field
+// (Start) is cleared.
+func TestRunInfoDeterminism(t *testing.T) {
+	a := CollectRunInfo("simulate", newTestFlagSet(t))
+	time.Sleep(2 * time.Millisecond) // make Start actually differ
+	b := CollectRunInfo("simulate", newTestFlagSet(t))
+	if a.Start.Equal(b.Start) {
+		t.Fatal("test premise broken: identical Start times")
+	}
+	a.Start, b.Start = time.Time{}, time.Time{}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Errorf("manifests differ for identical inputs:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestCollectRunInfoNilFlagSet(t *testing.T) {
+	info := CollectRunInfo("bare", nil)
+	if info.Flags == nil || len(info.Flags) != 0 {
+		t.Errorf("nil flag set should yield an empty (non-nil) map: %v", info.Flags)
+	}
+}

@@ -54,6 +54,19 @@ func (s *Span) Child(name string) *Span {
 	return c
 }
 
+// Adopt appends an independently started span as a child, preserving its
+// own timings. CLIs use it to gather the root spans that library calls
+// produce (e.g. Report.Trace per dataset) under one run-level tree for
+// trace.json. A nil receiver or child no-ops.
+func (s *Span) Adopt(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
 // End freezes the span's duration. Ending twice keeps the first duration.
 func (s *Span) End() {
 	if s == nil {
@@ -110,6 +123,23 @@ func (s *Span) Counter(name string) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.counters[name]
+}
+
+// Counters returns a copy of the span's counters (nil when empty or nil).
+func (s *Span) Counters() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.counters) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
 }
 
 // Children returns the child spans in start order (nil on nil).

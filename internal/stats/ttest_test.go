@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	// Population variance of {2,4,4,4,5,5,7,9} is 4; sample variance 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	almost(t, "SampleVariance", SampleVariance(xs), 32.0/7, 1e-12)
+	if SampleVariance([]float64{1}) != 0 || SampleVariance(nil) != 0 {
+		t.Error("short series should have zero sample variance")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		almost(t, "I_x(1,1)", RegIncBeta(1, 1, x), x, 1e-12)
+	}
+	// I_x(2,2) = x²(3-2x).
+	for _, x := range []float64{0.25, 0.5, 0.75} {
+		almost(t, "I_x(2,2)", RegIncBeta(2, 2, x), x*x*(3-2*x), 1e-12)
+	}
+	// Symmetry at the midpoint of a symmetric beta.
+	almost(t, "I_0.5(0.5,0.5)", RegIncBeta(0.5, 0.5, 0.5), 0.5, 1e-12)
+	// Complement identity I_x(a,b) = 1 - I_{1-x}(b,a).
+	almost(t, "complement", RegIncBeta(3, 7, 0.3), 1-RegIncBeta(7, 3, 0.7), 1e-12)
+	// Boundaries.
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+}
+
+func TestWelchTTestReference(t *testing.T) {
+	// Equal sizes and variances: t = -1, df = 8, two-sided p ≈ 0.34659
+	// (reference values from scipy.stats.ttest_ind(equal_var=False)).
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 3, 4, 5, 6}
+	tt, df, p := WelchTTest(x, y)
+	almost(t, "t", tt, -1, 1e-12)
+	almost(t, "df", df, 8, 1e-9)
+	almost(t, "p", p, 0.3465935, 1e-6)
+
+	// Unequal sizes and variances: t=-2.22551, df≈24.5246, p≈0.035485
+	// (computed independently from the Welch formulas).
+	x = []float64{19.8, 20.4, 19.6, 17.8, 18.5, 18.9, 18.3, 18.9, 19.5, 22.0}
+	y = []float64{28.2, 26.6, 20.1, 23.3, 25.2, 22.1, 17.7, 27.6, 20.6, 13.7, 23.2, 17.5, 20.6, 18.0, 23.9, 21.6, 24.3, 20.4, 23.9, 13.3}
+	tt, df, p = WelchTTest(x, y)
+	almost(t, "t(unequal)", tt, -2.2255120, 1e-6)
+	almost(t, "df(unequal)", df, 24.5246349, 1e-6)
+	almost(t, "p(unequal)", p, 0.0354845, 1e-6)
+}
+
+func TestWelchTTestDegenerate(t *testing.T) {
+	// Identical samples: no evidence against the null.
+	_, _, p := WelchTTest([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if p != 1 {
+		t.Errorf("identical zero-variance samples: p = %g, want 1", p)
+	}
+	// Zero variance, different means: certain difference.
+	_, _, p = WelchTTest([]float64{5, 5, 5}, []float64{6, 6, 6})
+	if p != 0 {
+		t.Errorf("distinct zero-variance samples: p = %g, want 0", p)
+	}
+	// Too few samples: NaN (caller falls back to threshold-only gating).
+	if _, _, p = WelchTTest([]float64{1}, []float64{2, 3}); !math.IsNaN(p) {
+		t.Errorf("n<2: p = %g, want NaN", p)
+	}
+	// Identical means with variance: p = 1 via t = 0.
+	_, _, p = WelchTTest([]float64{1, 3}, []float64{0, 4})
+	almost(t, "equal means", p, 1, 1e-12)
+}

@@ -2,29 +2,47 @@
 # bench.sh — run the repo's benchmark suite and snapshot the results as JSON.
 #
 # Usage:
-#   scripts/bench.sh                 # full suite -> BENCH_<YYYY-MM-DD>.json
-#   scripts/bench.sh ForwardSel      # only benchmarks matching the pattern
-#   BENCHTIME=1x scripts/bench.sh    # override -benchtime (default 1s)
+#   scripts/bench.sh                     # full suite -> BENCH_<YYYY-MM-DD>.json
+#   scripts/bench.sh ForwardSel          # only benchmarks matching the pattern
+#   scripts/bench.sh -count 5            # 5 samples per benchmark, so
+#                                        # cmd/benchdiff can t-test the deltas
+#   BENCHTIME=1x scripts/bench.sh        # override -benchtime (default 1s)
 #
-# The JSON is a flat array of {name, iterations, ns_per_op, bytes_per_op,
-# allocs_per_op} objects, one per benchmark line, suitable for diffing
-# across commits (e.g. to watch the obs-disabled overhead pair
-# BenchmarkForwardSelection / BenchmarkForwardSelectionObsOff).
+# The JSON is {"meta": {...}, "benchmarks": [...]}: meta pins the commit,
+# date, Go version, benchtime, pattern, and sample count; benchmarks is one
+# {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} object per
+# benchmark line (repeated names = repeated -count samples). Compare two
+# snapshots with `go run ./cmd/benchdiff old.json new.json` — it also still
+# reads the bare-array snapshots this script emitted before the meta header
+# existed.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+count=1
+if [ "${1:-}" = "-count" ]; then
+    count="${2:?bench.sh: -count needs a value}"
+    shift 2
+fi
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1s}"
-out="BENCH_$(date +%F).json"
+commit="$(git rev-parse HEAD 2>/dev/null || echo "")"
+goversion="$(go env GOVERSION)"
+today="$(date +%F)"
+out="BENCH_${today}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-echo "bench.sh: go test -run ^\$ -bench $pattern -benchtime $benchtime -benchmem ./..." >&2
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... | tee "$raw" >&2
+echo "bench.sh: go test -run ^\$ -bench $pattern -benchtime $benchtime -count $count -benchmem ./..." >&2
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" -benchmem ./... | tee "$raw" >&2
 
-awk '
-BEGIN { print "[" }
+awk -v commit="$commit" -v today="$today" -v goversion="$goversion" \
+    -v benchtime="$benchtime" -v pattern="$pattern" -v count="$count" '
+BEGIN {
+    printf "{\n  \"meta\": {\"commit\": \"%s\", \"date\": \"%s\", \"go_version\": \"%s\", \"benchtime\": \"%s\", \"pattern\": \"%s\", \"count\": %d},\n", \
+        commit, today, goversion, benchtime, pattern, count
+    print "  \"benchmarks\": ["
+}
 $1 ~ /^Benchmark/ && NF >= 3 {
     name = $1; sub(/-[0-9]+$/, "", name)
     iters = $2; ns = $3; bytes = "null"; allocs = "null"
@@ -34,10 +52,10 @@ $1 ~ /^Benchmark/ && NF >= 3 {
         if ($(i) == "allocs/op") allocs = $(i-1)
     }
     if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
         name, iters, ns, bytes, allocs
 }
-END { print "\n]" }
+END { print "\n  ]\n}" }
 ' "$raw" > "$out"
 
 echo "bench.sh: wrote $(grep -c '"name"' "$out") results to $out" >&2

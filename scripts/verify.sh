@@ -1,0 +1,46 @@
+#!/bin/sh
+# verify.sh — the tier-1 gate, runnable locally or in CI.
+#
+#   scripts/verify.sh
+#
+# Steps, in order (first failure stops the run):
+#   1. gofmt -l must report nothing
+#   2. go build ./...
+#   3. go vet ./...
+#   4. go test ./...
+#   5. go test -race ./...
+#   6. benchdiff smoke test against the committed fixture snapshots: a
+#      clean comparison must exit 0 and the injected >10% regression must
+#      exit 1, so the perf gate itself is gated.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "verify: gofmt" >&2
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "verify: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "verify: go build ./..." >&2
+go build ./...
+
+echo "verify: go vet ./..." >&2
+go vet ./...
+
+echo "verify: go test ./..." >&2
+go test ./...
+
+echo "verify: go test -race ./..." >&2
+go test -race ./...
+
+echo "verify: benchdiff smoke" >&2
+go run ./cmd/benchdiff -q cmd/benchdiff/testdata/old.json cmd/benchdiff/testdata/new_ok.json >/dev/null
+if go run ./cmd/benchdiff -q cmd/benchdiff/testdata/old.json cmd/benchdiff/testdata/new_regressed.json >/dev/null 2>&1; then
+    echo "verify: benchdiff failed to flag the fixture regression" >&2
+    exit 1
+fi
+
+echo "verify: ok" >&2
