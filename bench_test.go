@@ -14,8 +14,10 @@ package hamlet
 //	go test -bench=BenchmarkFig7 -benchtime=1x   # one full fig7 regeneration
 
 import (
+	"fmt"
 	"testing"
 
+	"hamlet/internal/biasvar"
 	"hamlet/internal/dataset"
 	"hamlet/internal/experiments"
 	"hamlet/internal/fs"
@@ -59,6 +61,33 @@ func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
 func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12") }
 func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13") }
 func BenchmarkTAN(b *testing.B)   { benchFigure(b, "tan") }
+
+// Monte Carlo engine scaling: one fig7-class simulation sweep (a deep
+// bias–variance point, ~seconds of model fits) at fixed worker counts. The
+// decompositions are bitwise-identical across the sub-benchmarks — only
+// wall time moves — so the ratio between workers=1 and workers=N is the
+// engine's parallel speedup on this machine (near-linear up to GOMAXPROCS;
+// on a single-core runner all counts collapse to the serial time).
+func BenchmarkMonteCarloWorkers(b *testing.B) {
+	sim := synth.SimConfig{Scenario: synth.OneXr, DS: 2, DR: 4, NR: 40, P: 0.1}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := biasvar.Run(sim, biasvar.Config{
+					NTrain: 1000, NTest: 500, L: 24, Worlds: 8, Seed: 1,
+					Workers: workers, Learner: nb.New(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != 3 {
+					b.Fatalf("want 3 model classes, got %d", len(out))
+				}
+			}
+		})
+	}
+}
 
 // Substrate micro-benchmarks.
 

@@ -17,18 +17,33 @@
 // -alpha, and single-sample comparisons fall back to the threshold alone.
 //
 // Exit status: 0 when no benchmark regressed beyond -threshold, 1 when at
-// least one did (so CI can gate on it), 2 on usage or parse errors.
+// least one did (so CI can gate on it), 2 on usage or parse errors, 3 when
+// the comparison would be vacuous — the old (baseline) snapshot does not
+// exist, or the two snapshots share zero benchmark names. The distinct code
+// lets CI tell "the gate passed" from "the gate never ran": a missing or
+// disjoint baseline must not masquerade as a clean pass.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"math"
 	"os"
 	"text/tabwriter"
 
 	"hamlet/internal/bench"
+)
+
+// Exit codes. CI gates on the difference between a real regression (1) and
+// a comparison that never happened (3).
+const (
+	exitOK         = 0
+	exitRegression = 1
+	exitUsage      = 2
+	exitVacuous    = 3
 )
 
 func main() {
@@ -48,26 +63,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitUsage
 	}
 	if fs.NArg() != 2 {
 		fs.Usage()
-		return 2
+		return exitUsage
 	}
 	oldSnap, err := bench.ParseFile(fs.Arg(0))
 	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			fmt.Fprintf(stderr, "benchdiff: baseline snapshot %s does not exist; nothing to gate against (run scripts/bench.sh at the baseline commit, or commit its BENCH_*.json)\n", fs.Arg(0))
+			return exitVacuous
+		}
 		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
-		return 2
+		return exitUsage
 	}
 	newSnap, err := bench.ParseFile(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
-		return 2
+		return exitUsage
 	}
 	rep := bench.Diff(oldSnap, newSnap)
 	if len(rep.Deltas) == 0 {
-		fmt.Fprintln(stderr, "benchdiff: no benchmarks in common")
-		return 2
+		fmt.Fprintf(stderr, "benchdiff: no overlapping benchmarks between %s (%d) and %s (%d); the comparison is vacuous, not a pass\n",
+			fs.Arg(0), len(oldSnap.Benchmarks), fs.Arg(1), len(newSnap.Benchmarks))
+		return exitVacuous
 	}
 	regressions := rep.Regressions(*threshold, *alpha)
 	if !*quiet {
@@ -84,9 +104,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  %s %+.1f%% (%s -> %s)%s\n",
 				d.Name, 100*d.Delta, ns(d.OldNs), ns(d.NewNs), pNote(d))
 		}
-		return 1
+		return exitRegression
 	}
-	return 0
+	return exitOK
 }
 
 // writeTable renders the per-benchmark comparison, flagging each row as a

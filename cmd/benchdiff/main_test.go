@@ -67,6 +67,33 @@ func TestUsageAndParseErrors(t *testing.T) {
 	}
 }
 
+func TestMissingBaselineIsVacuousNotPass(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"testdata/no_such_baseline.json", "testdata/new_ok.json"}, &out, &errb)
+	if code != exitVacuous {
+		t.Fatalf("exit = %d, want %d for a missing baseline; stderr:\n%s", code, exitVacuous, errb.String())
+	}
+	if !strings.Contains(errb.String(), "does not exist") || !strings.Contains(errb.String(), "bench.sh") {
+		t.Errorf("missing-baseline message should say what happened and how to fix it:\n%s", errb.String())
+	}
+	// A missing *new* snapshot is an ordinary usage error, not a vacuous
+	// baseline: the caller just ran the suite, so the path is their typo.
+	if code := run([]string{"testdata/old.json", "testdata/no_such_new.json"}, &out, &errb); code != exitUsage {
+		t.Errorf("missing new snapshot: exit = %d, want %d", code, exitUsage)
+	}
+}
+
+func TestZeroOverlapIsVacuousNotPass(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"testdata/old.json", "testdata/disjoint.json"}, &out, &errb)
+	if code != exitVacuous {
+		t.Fatalf("exit = %d, want %d for zero overlapping benchmarks; stderr:\n%s", code, exitVacuous, errb.String())
+	}
+	if !strings.Contains(errb.String(), "no overlapping benchmarks") || !strings.Contains(errb.String(), "vacuous") {
+		t.Errorf("zero-overlap message should name the problem:\n%s", errb.String())
+	}
+}
+
 func TestSelfComparisonIsAlwaysClean(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"testdata/old.json", "testdata/old.json"}, &out, &errb); code != 0 {

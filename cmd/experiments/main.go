@@ -8,6 +8,7 @@
 //	experiments -id fig7           # one experiment
 //	experiments -id fig3,fig4      # a comma-separated list
 //	experiments -quick             # the fast budget (CI-sized)
+//	experiments -workers 8         # parallel Monte Carlo engine (same results)
 //	experiments -scale 0.05        # override the mimic scale
 //	experiments -csv out/          # also write each table as CSV
 //
@@ -50,6 +51,7 @@ func run() error {
 		worlds   = flag.Int("worlds", 0, "override Monte Carlo world count (0 keeps default)")
 		l        = flag.Int("L", 0, "override training sets per world (0 keeps default)")
 		seed     = flag.Uint64("seed", 0, "override the seed (0 keeps default)")
+		workers  = flag.Int("workers", 0, "worker goroutines for the Monte Carlo fan-out (0 = GOMAXPROCS); results are identical at any count")
 		csvDir   = flag.String("csv", "", "directory to write per-table CSV files (optional)")
 		progress = flag.Bool("progress", false, "print periodic progress/ETA lines to stderr")
 		trace    = flag.Bool("trace", false, "print a span tree with per-stage timings and counters after each experiment")
@@ -80,6 +82,7 @@ func run() error {
 	if *seed != 0 {
 		budget.Seed = *seed
 	}
+	budget.Workers = *workers
 
 	stop, err := prof.Start()
 	if err != nil {

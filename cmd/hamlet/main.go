@@ -23,8 +23,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"strings"
@@ -32,6 +34,7 @@ import (
 
 	"hamlet"
 	"hamlet/internal/obs"
+	"hamlet/internal/pool"
 )
 
 func main() {
@@ -46,6 +49,7 @@ func main() {
 		method    = flag.String("method", "forward", "feature selection method for -analyze: forward, backward, filter-MI, filter-IGR")
 		trace     = flag.Bool("trace", false, "with -analyze, print the span tree (join vs selection vs training time) to stderr")
 		outDir    = flag.String("out", "", "write run artifacts (manifest.json, events.jsonl, metrics.json, trace.json) to this directory")
+		workers   = flag.Int("workers", 0, "datasets analyzed concurrently with -dataset all (0 = GOMAXPROCS); output order is unchanged")
 		prof      obs.ProfileFlags
 	)
 	prof.Register(flag.CommandLine)
@@ -115,73 +119,105 @@ func main() {
 		}
 	}
 
-	for _, ds := range datasets {
-		dsSpan := root.Child("dataset(" + ds.Name + ")")
-		decisions, err := adv.Decide(ds)
-		if err != nil {
-			fatal("decide %s: %v", ds.Name, err)
+	// Datasets are independent, so -dataset all fans out over a bounded
+	// worker pool. Each worker renders into its own buffers; stdout/stderr
+	// are then flushed in dataset order, so the report reads identically at
+	// any worker count (events.jsonl interleaves by completion time — the
+	// lines are self-describing and explicitly unordered across datasets).
+	outBufs := make([]bytes.Buffer, len(datasets))
+	errBufs := make([]bytes.Buffer, len(datasets))
+	spans := make([]*obs.Span, len(datasets))
+	perr := pool.Run(len(datasets), *workers, func(i int) error {
+		ds := datasets[i]
+		var dsSpan *obs.Span
+		if root != nil {
+			dsSpan = obs.StartSpan("dataset(" + ds.Name + ")")
+			spans[i] = dsSpan
 		}
-		fmt.Printf("dataset %s: n_S=%d rows, %d attribute tables (rule=%s, τ=%.3g, ρ=%.3g)\n",
-			ds.Name, ds.NumRows(), len(ds.Attrs), adv.Rule, adv.Thresholds.Tau, adv.Thresholds.Rho)
-		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "  attr table\tFK\tTR\tROR\tverdict\treason")
-		for _, dec := range decisions {
-			verdict := "KEEP (join)"
-			if dec.Considered && dec.Avoid {
-				verdict = "AVOID join"
-			}
-			fmt.Fprintf(tw, "  %s\t%s\t%.2f\t%.2f\t%s\t%s\n", dec.Attr, dec.FK, dec.TR, dec.ROR, verdict, dec.Reason)
-			runDir.Events().Emit("decision",
-				slog.String("dataset", ds.Name),
-				slog.String("attr", dec.Attr),
-				slog.String("fk", dec.FK),
-				slog.Float64("tr", dec.TR),
-				slog.Float64("ror", dec.ROR),
-				slog.Bool("avoid", dec.Considered && dec.Avoid),
-				slog.String("reason", dec.Reason),
-			)
-		}
-		tw.Flush()
-		if *analyze {
-			sel, err := selector(*method)
-			if err != nil {
-				fatal("%v", err)
-			}
-			rep, err := hamlet.Analyze(ds, sel, adv, *seed)
-			if err != nil {
-				fatal("analyze %s: %v", ds.Name, err)
-			}
-			dsSpan.Adopt(rep.Trace)
-			runDir.Events().Emit("analyze",
-				slog.String("dataset", ds.Name),
-				slog.String("method", *method),
-				slog.Float64("joinall_test_error", rep.JoinAll.TestError),
-				slog.Float64("joinopt_test_error", rep.JoinOpt.TestError),
-				slog.Int("joinall_evaluations", rep.JoinAll.Evaluations),
-				slog.Int("joinopt_evaluations", rep.JoinOpt.Evaluations),
-				slog.Float64("speedup", rep.Speedup),
-				slog.String("speedup_basis", rep.SpeedupBasis),
-			)
-			fmt.Printf("  end-to-end (%s, metric %s):\n", *method, rep.Metric)
-			fmt.Printf("    JoinAll: %d features in, test error %.4f, selection %v (%d evals)\n",
-				rep.JoinAll.InputFeatures, rep.JoinAll.TestError, rep.JoinAll.Elapsed.Round(1e6), rep.JoinAll.Evaluations)
-			fmt.Printf("    JoinOpt: %d features in, test error %.4f, selection %v (%d evals)\n",
-				rep.JoinOpt.InputFeatures, rep.JoinOpt.TestError, rep.JoinOpt.Elapsed.Round(1e6), rep.JoinOpt.Evaluations)
-			fmt.Printf("    speedup: %.1fx (%s basis); selected (JoinOpt): %s\n",
-				rep.Speedup, rep.SpeedupBasis, strings.Join(rep.JoinOpt.Selected, " "))
-			if *trace {
-				if err := rep.Trace.WriteText(os.Stderr); err != nil {
-					fatal("trace: %v", err)
-				}
-			}
-		}
+		err := reportDataset(&outBufs[i], &errBufs[i], ds, dsSpan, adv, runDir,
+			*analyze, *method, *trace, *seed)
 		dsSpan.End()
-		fmt.Println()
+		return err
+	})
+	root.AdoptAll(spans)
+	for i := range datasets {
+		os.Stdout.Write(outBufs[i].Bytes())
+		os.Stderr.Write(errBufs[i].Bytes())
+	}
+	if perr != nil {
+		fatal("%v", perr)
 	}
 	root.End()
 	if err := runDir.Close(root, nil); err != nil {
 		fatal("run artifacts: %v", err)
 	}
+}
+
+// reportDataset runs the advisor (and optionally the end-to-end analysis)
+// for one dataset, rendering the report into stdout/stderr buffers so
+// parallel workers never interleave their output.
+func reportDataset(stdout, stderr io.Writer, ds *hamlet.Dataset, dsSpan *obs.Span,
+	adv *hamlet.Advisor, runDir *obs.RunDir, analyze bool, method string, trace bool, seed uint64) error {
+	decisions, err := adv.Decide(ds)
+	if err != nil {
+		return fmt.Errorf("decide %s: %w", ds.Name, err)
+	}
+	fmt.Fprintf(stdout, "dataset %s: n_S=%d rows, %d attribute tables (rule=%s, τ=%.3g, ρ=%.3g)\n",
+		ds.Name, ds.NumRows(), len(ds.Attrs), adv.Rule, adv.Thresholds.Tau, adv.Thresholds.Rho)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  attr table\tFK\tTR\tROR\tverdict\treason")
+	for _, dec := range decisions {
+		verdict := "KEEP (join)"
+		if dec.Considered && dec.Avoid {
+			verdict = "AVOID join"
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%.2f\t%.2f\t%s\t%s\n", dec.Attr, dec.FK, dec.TR, dec.ROR, verdict, dec.Reason)
+		runDir.Events().Emit("decision",
+			slog.String("dataset", ds.Name),
+			slog.String("attr", dec.Attr),
+			slog.String("fk", dec.FK),
+			slog.Float64("tr", dec.TR),
+			slog.Float64("ror", dec.ROR),
+			slog.Bool("avoid", dec.Considered && dec.Avoid),
+			slog.String("reason", dec.Reason),
+		)
+	}
+	tw.Flush()
+	if analyze {
+		sel, err := selector(method)
+		if err != nil {
+			return err
+		}
+		rep, err := hamlet.Analyze(ds, sel, adv, seed)
+		if err != nil {
+			return fmt.Errorf("analyze %s: %w", ds.Name, err)
+		}
+		dsSpan.Adopt(rep.Trace)
+		runDir.Events().Emit("analyze",
+			slog.String("dataset", ds.Name),
+			slog.String("method", method),
+			slog.Float64("joinall_test_error", rep.JoinAll.TestError),
+			slog.Float64("joinopt_test_error", rep.JoinOpt.TestError),
+			slog.Int("joinall_evaluations", rep.JoinAll.Evaluations),
+			slog.Int("joinopt_evaluations", rep.JoinOpt.Evaluations),
+			slog.Float64("speedup", rep.Speedup),
+			slog.String("speedup_basis", rep.SpeedupBasis),
+		)
+		fmt.Fprintf(stdout, "  end-to-end (%s, metric %s):\n", method, rep.Metric)
+		fmt.Fprintf(stdout, "    JoinAll: %d features in, test error %.4f, selection %v (%d evals)\n",
+			rep.JoinAll.InputFeatures, rep.JoinAll.TestError, rep.JoinAll.Elapsed.Round(1e6), rep.JoinAll.Evaluations)
+		fmt.Fprintf(stdout, "    JoinOpt: %d features in, test error %.4f, selection %v (%d evals)\n",
+			rep.JoinOpt.InputFeatures, rep.JoinOpt.TestError, rep.JoinOpt.Elapsed.Round(1e6), rep.JoinOpt.Evaluations)
+		fmt.Fprintf(stdout, "    speedup: %.1fx (%s basis); selected (JoinOpt): %s\n",
+			rep.Speedup, rep.SpeedupBasis, strings.Join(rep.JoinOpt.Selected, " "))
+		if trace {
+			if err := rep.Trace.WriteText(stderr); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+		}
+	}
+	fmt.Fprintln(stdout)
+	return nil
 }
 
 func selector(name string) (hamlet.FeatureSelector, error) {

@@ -10,6 +10,7 @@
 //	simulate -scenario AllXsXr -ntrain 500 -nr 100 -ds 4 -dr 4
 //	simulate -scenario OneXr -skew needle -needle 0.5   # malign FK skew
 //	simulate -worlds 100 -L 100 -progress               # progress/ETA on stderr
+//	simulate -worlds 100 -L 100 -workers 8              # parallel Monte Carlo sweep
 //	simulate -trace -cpuprofile cpu.out -http :6060     # span tree + profiling
 //	simulate -out runs/onexr                            # persist run artifacts
 package main
@@ -42,6 +43,7 @@ func main() {
 		worlds   = flag.Int("worlds", 10, "world realizations")
 		l        = flag.Int("L", 24, "training sets per world")
 		seed     = flag.Uint64("seed", 1, "seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for the Monte Carlo fan-out (0 = GOMAXPROCS); results are identical at any count")
 		progress = flag.Bool("progress", false, "print periodic progress/ETA lines to stderr")
 		trace    = flag.Bool("trace", false, "print the Monte Carlo span tree to stderr on completion")
 		outDir   = flag.String("out", "", "write run artifacts (manifest.json, events.jsonl, metrics.json, trace.json) to this directory")
@@ -88,7 +90,7 @@ func main() {
 
 	bvCfg := hamlet.BiasVarConfig{
 		NTrain: *nTrain, NTest: *nTest, L: *l, Worlds: *worlds, Seed: *seed,
-		Learner: hamlet.NaiveBayes(),
+		Workers: *workers, Learner: hamlet.NaiveBayes(),
 	}
 	if *progress || runDir != nil {
 		w := io.Writer(io.Discard)

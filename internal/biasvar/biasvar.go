@@ -29,6 +29,7 @@ import (
 	"hamlet/internal/dataset"
 	"hamlet/internal/ml"
 	"hamlet/internal/obs"
+	"hamlet/internal/pool"
 	"hamlet/internal/stats"
 	"hamlet/internal/synth"
 )
@@ -85,8 +86,18 @@ type Config struct {
 	Worlds int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the worker goroutines of the Monte Carlo fan-out
+	// (worlds in Run, training-set fits in RunWorld); <= 0 means
+	// GOMAXPROCS. Results are bitwise-identical at every worker count:
+	// each (world, trial) task receives an RNG split off the seed stream
+	// in index order before dispatch, so what a task computes never
+	// depends on scheduling, and the floating-point reductions happen in
+	// index order after the pool drains.
+	Workers int
 	// Learner trains the models; nil means Naive Bayes is supplied by the
-	// caller (Run requires it non-nil).
+	// caller (Run requires it non-nil). The learner's Fit is called from
+	// multiple goroutines when Workers > 1, so it must be safe for
+	// concurrent use (the Naive Bayes and TAN learners are stateless).
 	Learner ml.Learner
 	// Progress, when non-nil, receives one unit of total per (world,
 	// training set) pair and one step as each completes, driving the CLIs'
@@ -116,6 +127,14 @@ func (c Config) Validate() error {
 
 // Run executes the Monte Carlo study for one simulation configuration and
 // returns one aggregate decomposition per model class, averaged over worlds.
+//
+// Worlds are dispatched to a bounded worker pool (cfg.Workers); the output
+// is bitwise-identical at every worker count because every world's seed and
+// RNG stream are split off the root stream in world order *before* dispatch
+// and the per-world decompositions are reduced in world order afterwards.
+// When cfg.Span is set, each world records its own child span; the children
+// are adopted in world order after the pool drains, so the trace tree is
+// deterministic too (only the spans' wall-clock timings vary run to run).
 func Run(simCfg synth.SimConfig, cfg Config) (map[string]Decomp, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -125,34 +144,69 @@ func Run(simCfg synth.SimConfig, cfg Config) (map[string]Decomp, error) {
 	}
 	rng := stats.NewRNG(cfg.Seed)
 	cfg.Progress.AddTotal(int64(cfg.Worlds) * int64(cfg.L))
-	var classes []ModelClass
-	acc := make(map[string]*Decomp)
-	for wi := 0; wi < cfg.Worlds; wi++ {
-		world, err := synth.NewWorld(simCfg, rng.Uint64())
+	// Pre-split every world's randomness in world order: one seed word for
+	// the world realization, one child stream for its sampling. This is the
+	// whole determinism argument — after this loop, no task consumes from a
+	// shared stream.
+	type worldRand struct {
+		seed uint64
+		rng  *stats.RNG
+	}
+	wrand := make([]worldRand, cfg.Worlds)
+	for wi := range wrand {
+		wrand[wi] = worldRand{seed: rng.Uint64(), rng: rng.Split()}
+	}
+	workers := pool.Workers(cfg.Workers)
+	worldWorkers := workers
+	if worldWorkers > cfg.Worlds {
+		worldWorkers = cfg.Worlds
+	}
+	// Leftover parallelism goes to the L training-set fits inside each
+	// world, so small-world sweeps still saturate the pool budget.
+	innerWorkers := workers / worldWorkers
+	perWorld := make([]map[string]Decomp, cfg.Worlds)
+	spans := make([]*obs.Span, cfg.Worlds)
+	err := pool.Run(cfg.Worlds, worldWorkers, func(wi int) error {
+		world, err := synth.NewWorld(simCfg, wrand[wi].seed)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("biasvar: world %d: %w", wi, err)
 		}
 		worldsRun.Inc()
-		cfg.Span.Add("worlds", 1)
-		if classes == nil {
-			classes = StandardClasses(world)
-			for _, mc := range classes {
-				acc[mc.Name] = &Decomp{}
-			}
+		wcfg := cfg
+		wcfg.Workers = innerWorkers
+		if cfg.Span != nil {
+			spans[wi] = obs.StartSpan(fmt.Sprintf("world[%d]", wi))
+			wcfg.Span = spans[wi]
 		}
-		perWorld, err := RunWorld(world, classes, cfg, rng.Split())
+		out, err := RunWorld(world, StandardClasses(world), wcfg, wrand[wi].rng)
+		spans[wi].End()
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("biasvar: world %d: %w", wi, err)
 		}
-		for name, d := range perWorld {
+		perWorld[wi] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Span.AdoptAll(spans)
+	cfg.Span.Add("worlds", int64(cfg.Worlds))
+	// Reduce in world order so the float sums are scheduling-independent.
+	acc := make(map[string]*Decomp, len(perWorld[0]))
+	for name := range perWorld[0] {
+		acc[name] = &Decomp{}
+	}
+	for _, d := range perWorld {
+		for name, w := range d {
 			a := acc[name]
-			a.TestError += d.TestError
-			a.Bias += d.Bias
-			a.NetVariance += d.NetVariance
-			a.Variance += d.Variance
-			a.Noise += d.Noise
+			a.TestError += w.TestError
+			a.Bias += w.Bias
+			a.NetVariance += w.NetVariance
+			a.Variance += w.Variance
+			a.Noise += w.Noise
 		}
 	}
+	cfg.Span.Add("models_trained", int64(cfg.Worlds)*int64(cfg.L)*int64(len(acc)))
 	out := make(map[string]Decomp, len(acc))
 	for name, a := range acc {
 		out[name] = Decomp{
@@ -169,25 +223,39 @@ func Run(simCfg synth.SimConfig, cfg Config) (map[string]Decomp, error) {
 // RunWorld performs the decomposition within a single world: it samples one
 // test set and L training sets, trains each model class on every training
 // set, and aggregates the pointwise decomposition over the test set.
+//
+// The L fits are independent and run on cfg.Workers goroutines; each trial
+// draws its training set from an RNG split off rng in trial order before
+// dispatch (after the test set is sampled), so the decomposition is
+// bitwise-identical at every worker count.
 func RunWorld(world *synth.World, classes []ModelClass, cfg Config, rng *stats.RNG) (map[string]Decomp, error) {
 	test := world.Sample(cfg.NTest, rng)
+	trialRNG := make([]*stats.RNG, cfg.L)
+	for l := range trialRNG {
+		trialRNG[l] = rng.Split()
+	}
 	// preds[class][l] is the prediction vector of model l on the test set.
+	// Concurrent trials write disjoint elements of these shared slices.
 	preds := make(map[string][][]int32, len(classes))
 	for _, mc := range classes {
 		preds[mc.Name] = make([][]int32, cfg.L)
 	}
-	for l := 0; l < cfg.L; l++ {
-		train := world.Sample(cfg.NTrain, rng)
+	err := pool.Run(cfg.L, cfg.Workers, func(l int) error {
+		train := world.Sample(cfg.NTrain, trialRNG[l])
 		for _, mc := range classes {
 			mod, err := cfg.Learner.Fit(train, mc.Features)
 			if err != nil {
-				return nil, fmt.Errorf("biasvar: class %s: %w", mc.Name, err)
+				return fmt.Errorf("biasvar: class %s: %w", mc.Name, err)
 			}
 			preds[mc.Name][l] = ml.PredictAll(mod, test)
 		}
 		modelsTrained.Add(int64(len(classes)))
 		cfg.Span.Add("models_trained", int64(len(classes)))
 		cfg.Progress.Step(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := make(map[string]Decomp, len(classes))
 	for _, mc := range classes {

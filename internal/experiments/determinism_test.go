@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestRunnerDeterminismAcrossWorkers pins the end-to-end property the
+// -workers flag promises: a figure runner renders cell-for-cell identical
+// tables at any worker count, so parallelism is purely a wall-time knob.
+func TestRunnerDeterminismAcrossWorkers(t *testing.T) {
+	for _, id := range []string{"fig3", "xsfk"} {
+		t.Run(id, func(t *testing.T) {
+			serial := Quick
+			serial.Workers = 1
+			want, err := Run(id, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel := Quick
+			parallel.Workers = 4
+			got, err := Run(id, parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Tables) != len(want.Tables) {
+				t.Fatalf("table counts differ: %d vs %d", len(got.Tables), len(want.Tables))
+			}
+			for ti, wt := range want.Tables {
+				gt := got.Tables[ti]
+				if gt.Title != wt.Title || len(gt.Rows) != len(wt.Rows) {
+					t.Fatalf("table %d shape differs: %q/%d vs %q/%d", ti, gt.Title, len(gt.Rows), wt.Title, len(wt.Rows))
+				}
+				for ri, wr := range wt.Rows {
+					for ci, wc := range wr {
+						if gt.Rows[ri][ci] != wc {
+							t.Errorf("%s row %d col %s: workers=4 got %q, workers=1 got %q",
+								wt.Title, ri, wt.Columns[ci], gt.Rows[ri][ci], wc)
+						}
+					}
+				}
+			}
+		})
+	}
+}

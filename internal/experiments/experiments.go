@@ -34,6 +34,11 @@ type Budget struct {
 	MimicScale float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the Monte Carlo worker pool of the simulation-backed
+	// runners (biasvar fan-out over worlds and training sets); <= 0 means
+	// GOMAXPROCS. Results are identical at every worker count — the flag
+	// trades wall time only (the -workers flag of cmd/experiments).
+	Workers int
 	// Progress, when non-nil, receives progress/ETA updates as the runner's
 	// Monte Carlo loops execute (the -progress flag of cmd/experiments).
 	// Nil disables reporting; it does not affect results.

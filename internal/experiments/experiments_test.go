@@ -192,6 +192,9 @@ func TestFig6MatchesPaperAtScaleOne(t *testing.T) {
 }
 
 func TestFig7EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second mimic sweep; run without -short (CI covers it on the full-race leg)")
+	}
 	res, err := RunFig7(testBudget)
 	if err != nil {
 		t.Fatal(err)
@@ -231,6 +234,9 @@ func TestFig7EndToEnd(t *testing.T) {
 }
 
 func TestFig8ARobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second mimic sweep; run without -short (CI covers it on the full-race leg)")
+	}
 	res, err := RunFig8A(testBudget)
 	if err != nil {
 		t.Fatal(err)
@@ -310,6 +316,9 @@ func TestFig8BSensitivity(t *testing.T) {
 }
 
 func TestFig8CDroppingFKsHurts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second mimic sweep; run without -short (CI covers it on the full-race leg)")
+	}
 	res, err := RunFig8C(testBudget)
 	if err != nil {
 		t.Fatal(err)
@@ -331,6 +340,9 @@ func TestFig8CDroppingFKsHurts(t *testing.T) {
 }
 
 func TestFig9LogregShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second mimic sweep; run without -short (CI covers it on the full-race leg)")
+	}
 	res, err := RunFig9(testBudget)
 	if err != nil {
 		t.Fatal(err)

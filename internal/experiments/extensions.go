@@ -145,7 +145,7 @@ func RunSkewGuard(b Budget) (*Result, error) {
 	for _, c := range cases {
 		out, err := biasvar.Run(c.cfg, biasvar.Config{
 			NTrain: nS, NTest: b.NTest, L: b.L, Worlds: b.Worlds, Seed: b.Seed + 160,
-			Learner: nbLearner(),
+			Workers: b.Workers, Learner: nbLearner(),
 		})
 		if err != nil {
 			return nil, err

@@ -23,6 +23,7 @@ func simPoint(sim synth.SimConfig, nTrain int, b Budget, seed uint64) (map[strin
 		L:        b.L,
 		Worlds:   b.Worlds,
 		Seed:     seed,
+		Workers:  b.Workers,
 		Learner:  nb.New(),
 		Progress: b.Progress,
 		Span:     sp,

@@ -67,6 +67,25 @@ func (s *Span) Adopt(c *Span) {
 	s.mu.Unlock()
 }
 
+// AdoptAll appends independently started spans as children in slice order,
+// skipping nils. Parallel fan-outs (internal/pool callers) use it to attach
+// per-task spans *after* the pool drains: each worker times its own span
+// concurrently, and adoption in task-index order afterwards keeps the
+// rendered child order deterministic no matter how the scheduler
+// interleaved the workers. A nil receiver no-ops.
+func (s *Span) AdoptAll(children []*Span) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for _, c := range children {
+		if c != nil {
+			s.children = append(s.children, c)
+		}
+	}
+	s.mu.Unlock()
+}
+
 // End freezes the span's duration. Ending twice keeps the first duration.
 func (s *Span) End() {
 	if s == nil {

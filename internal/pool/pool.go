@@ -1,0 +1,116 @@
+// Package pool runs bounded, index-addressed fan-out for the Monte Carlo
+// engine: N independent tasks over at most W worker goroutines, with
+// first-error cancellation and panic capture.
+//
+// The pool is deliberately simpler than errgroup: tasks are identified by
+// their index in [0, n), which is what makes deterministic parallelism
+// possible upstream — callers pre-split one RNG per index *before*
+// dispatch, so the work a task does depends only on its index, never on
+// which worker runs it or in what order. Whatever the worker count,
+// running the same task set yields bitwise-identical results.
+//
+// Error policy: the first failure (by task index, not by wall-clock) wins,
+// so the reported error is itself deterministic across worker counts;
+// remaining tasks are cancelled best-effort (workers stop picking up new
+// indices, in-flight tasks run to completion). A panicking task is
+// captured and reported as an error carrying the task index and stack
+// rather than tearing down the process from a worker goroutine.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean GOMAXPROCS,
+// anything else is returned unchanged. CLIs pass the -workers flag through
+// this so "0" consistently means "use every core".
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// PanicError is a captured task panic, carrying the task index, the
+// recovered value, and the goroutine stack at the panic site.
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Run executes task(i) for every i in [0, n) across at most workers
+// goroutines (workers <= 0 means GOMAXPROCS; the effective count is also
+// capped at n). It returns nil once every task has completed, or the error
+// of the lowest-indexed failed task. After the first failure no new task
+// indices are dispatched, so cancellation is prompt but in-flight tasks
+// finish. Run with workers == 1 executes the tasks in index order on a
+// single goroutine, which is the serial reference path the determinism
+// tests compare against.
+func Run(n, workers int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		errIdx  = -1
+		firstEr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(i, &PanicError{Index: i, Value: r, Stack: debug.Stack()})
+			}
+		}()
+		if err := task(i); err != nil {
+			fail(i, err)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstEr
+}

@@ -1,0 +1,135 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		const n = 100
+		var counts [n]atomic.Int32
+		if err := Run(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	if err := Run(0, 4, func(int) error { t.Error("task ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(-3, 4, func(int) error { t.Error("task ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	err := Run(50, workers, func(i int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", p, workers)
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	bad := map[int]bool{17: true, 41: true, 83: true}
+	for _, workers := range []int{1, 4, 16} {
+		err := Run(100, workers, func(i int) error {
+			if bad[i] {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		// Cancellation may stop later bad indices from running at all, but
+		// among the failures that did run, the lowest index must win — and
+		// index 17 always runs before cancellation can beat it at workers=1.
+		if workers == 1 && err.Error() != "task 17 failed" {
+			t.Fatalf("workers=1: got %q, want the first failure in index order", err)
+		}
+		if !strings.Contains(err.Error(), "failed") {
+			t.Fatalf("workers=%d: unexpected error %q", workers, err)
+		}
+	}
+}
+
+func TestRunCancelsAfterFirstError(t *testing.T) {
+	var ran atomic.Int32
+	err := Run(10_000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if got := ran.Load(); got == 10_000 {
+		t.Fatal("every task ran despite an early error; cancellation is not working")
+	}
+}
+
+func TestRunCapturesPanics(t *testing.T) {
+	err := Run(8, 4, func(i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T (%v), want *PanicError", err, err)
+	}
+	if pe.Index != 5 || pe.Value != "kaboom" {
+		t.Fatalf("wrong panic captured: %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "kaboom") || !strings.Contains(pe.Error(), "task 5") {
+		t.Fatalf("unhelpful panic error: %s", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error is missing the stack")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(6); got != 6 {
+		t.Fatalf("Workers(6) = %d", got)
+	}
+}

@@ -7,6 +7,9 @@
 #   scripts/bench.sh -count 5            # 5 samples per benchmark, so
 #                                        # cmd/benchdiff can t-test the deltas
 #   BENCHTIME=1x scripts/bench.sh        # override -benchtime (default 1s)
+#   BENCH_OUT=new.json scripts/bench.sh  # override the output path (CI uses
+#                                        # this so a same-day run can't
+#                                        # overwrite the committed baseline)
 #
 # The JSON is {"meta": {...}, "benchmarks": [...]}: meta pins the commit,
 # date, Go version, benchtime, pattern, and sample count; benchmarks is one
@@ -29,7 +32,7 @@ benchtime="${BENCHTIME:-1s}"
 commit="$(git rev-parse HEAD 2>/dev/null || echo "")"
 goversion="$(go env GOVERSION)"
 today="$(date +%F)"
-out="BENCH_${today}.json"
+out="${BENCH_OUT:-BENCH_${today}.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

@@ -1,20 +1,29 @@
 #!/bin/sh
 # verify.sh — the tier-1 gate, runnable locally or in CI.
 #
-#   scripts/verify.sh
+#   scripts/verify.sh           # full gate (includes go test -race)
+#   scripts/verify.sh -short    # fast gate: go test -short, no -race leg
 #
 # Steps, in order (first failure stops the run):
 #   1. gofmt -l must report nothing
 #   2. go build ./...
 #   3. go vet ./...
-#   4. go test ./...
-#   5. go test -race ./...
+#   4. go test ./...            (-short mode: go test -short ./...)
+#   5. go test -race ./...      (skipped in -short mode; CI runs the full
+#      gate on one matrix leg so the race leg stays the long pole while
+#      the other legs finish fast)
 #   6. benchdiff smoke test against the committed fixture snapshots: a
 #      clean comparison must exit 0 and the injected >10% regression must
 #      exit 1, so the perf gate itself is gated.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+short=0
+if [ "${1:-}" = "-short" ]; then
+    short=1
+    shift
+fi
 
 echo "verify: gofmt" >&2
 unformatted="$(gofmt -l .)"
@@ -30,11 +39,16 @@ go build ./...
 echo "verify: go vet ./..." >&2
 go vet ./...
 
-echo "verify: go test ./..." >&2
-go test ./...
+if [ "$short" = 1 ]; then
+    echo "verify: go test -short ./..." >&2
+    go test -short ./...
+else
+    echo "verify: go test ./..." >&2
+    go test ./...
 
-echo "verify: go test -race ./..." >&2
-go test -race ./...
+    echo "verify: go test -race ./..." >&2
+    go test -race ./...
+fi
 
 echo "verify: benchdiff smoke" >&2
 go run ./cmd/benchdiff -q cmd/benchdiff/testdata/old.json cmd/benchdiff/testdata/new_ok.json >/dev/null
