@@ -21,7 +21,8 @@
 // the comparison would be vacuous — the old (baseline) snapshot does not
 // exist, or the two snapshots share zero benchmark names. The distinct code
 // lets CI tell "the gate passed" from "the gate never ran": a missing or
-// disjoint baseline must not masquerade as a clean pass.
+// disjoint baseline must not masquerade as a clean pass. The convention is
+// shared with `report diff` (see internal/exitcode).
 package main
 
 import (
@@ -35,15 +36,18 @@ import (
 	"text/tabwriter"
 
 	"hamlet/internal/bench"
+	"hamlet/internal/exitcode"
 )
 
-// Exit codes. CI gates on the difference between a real regression (1) and
-// a comparison that never happened (3).
+// Exit codes follow the shared gate convention (internal/exitcode): CI
+// gates on the difference between a real regression (1) and a comparison
+// that never happened (3). cmd/report's diff subcommand uses the same
+// codes for accuracy drift.
 const (
-	exitOK         = 0
-	exitRegression = 1
-	exitUsage      = 2
-	exitVacuous    = 3
+	exitOK         = exitcode.OK
+	exitRegression = exitcode.Failed
+	exitUsage      = exitcode.Usage
+	exitVacuous    = exitcode.Vacuous
 )
 
 func main() {

@@ -161,9 +161,9 @@ func run() error {
 }
 
 // appendResults streams every table row of one experiment into the run's
-// results.jsonl: one self-describing line per row, keyed by experiment id,
-// table title, and column name, so figure data can be re-plotted without
-// re-running the Monte Carlo sweep.
+// results.jsonl: one self-describing obs.ResultRow line per row (schema v1,
+// header order preserved via Columns), so `report tables` can rebuild the
+// rendered tables without re-running the Monte Carlo sweep.
 func appendResults(runDir *obs.RunDir, res *experiments.Result) error {
 	if runDir == nil {
 		return nil
@@ -174,10 +174,12 @@ func appendResults(runDir *obs.RunDir, res *experiments.Result) error {
 			for i, col := range tab.Columns {
 				cells[col] = row[i]
 			}
-			line := map[string]any{
-				"experiment": res.ID,
-				"table":      tab.Title,
-				"cells":      cells,
+			line := obs.ResultRow{
+				V:          obs.SchemaVersion,
+				Experiment: res.ID,
+				Table:      tab.Title,
+				Columns:    tab.Columns,
+				Cells:      cells,
 			}
 			if err := runDir.AppendResult(line); err != nil {
 				return err

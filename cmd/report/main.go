@@ -1,0 +1,250 @@
+// Command report reads run artifacts — the directories the other CLIs
+// write under -out — back into answers. It is the consumer the write side
+// (internal/obs) was built for: tables regenerated from persisted results,
+// an accuracy-drift gate between two runs, and a profile of where the wall
+// clock went.
+//
+// Usage:
+//
+//	report tables <rundir>                    # rebuild the experiment tables
+//	                                          # from results.jsonl
+//	report diff <base-rundir> <new-rundir>    # accudiff: gate on accuracy
+//	                                          # drift between two runs
+//	report diff -tol 0.002 -alpha 0.01 -q base new
+//	report trace <rundir>                     # span profile: per-path
+//	                                          # total/self, hot path,
+//	                                          # counters, worker utilization
+//	report trace -top 10 <rundir>
+//
+// `report diff` mirrors cmd/benchdiff's exit-status convention (see
+// internal/exitcode): 0 when the runs agree within tolerance, 1 on
+// significant accuracy drift (a mean delta beyond -tol, Welch-filtered when
+// samples allow, or any rule-verdict flip), 2 on usage or parse errors, and
+// 3 when the comparison is vacuous — the base run directory is missing or
+// the two runs share zero aligned result keys. CI gates on it the same way
+// it gates on benchdiff: both 1 and 3 fail the job, but 3 tells the
+// operator to fix the baseline, not the code.
+//
+// Artifacts carry a schema version (manifest schema_version, per-line "v");
+// report refuses versions newer than it understands instead of misreading
+// them.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"hamlet/internal/exitcode"
+	"hamlet/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests can drive the full CLI —
+// subcommand routing, flags, rendering, and exit-code policy — in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return exitcode.Usage
+	}
+	switch args[0] {
+	case "tables":
+		return runTables(args[1:], stdout, stderr)
+	case "diff":
+		return runDiff(args[1:], stdout, stderr)
+	case "trace":
+		return runTrace(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stderr)
+		return exitcode.OK
+	default:
+		fmt.Fprintf(stderr, "report: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return exitcode.Usage
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: report <subcommand> [flags] <args>
+
+subcommands:
+  tables <rundir>          rebuild experiment tables from results.jsonl
+  diff   <base> <new>      gate on accuracy drift between two run dirs
+                           (exit 0 clean, 1 drift, 3 vacuous — as benchdiff)
+  trace  <rundir>          profile the span tree: per-path total/self time,
+                           hot path, counter rollups, worker utilization
+`)
+}
+
+func runTables(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report tables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: report tables <rundir>")
+		return exitcode.Usage
+	}
+	r, err := report.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "report: %v\n", err)
+		return exitcode.Usage
+	}
+	if err := r.WriteTables(stdout); err != nil {
+		fmt.Fprintf(stderr, "report: %v\n", err)
+		return exitcode.Usage
+	}
+	return exitcode.OK
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	opt := report.DefaultDiffOptions
+	fs.Float64Var(&opt.Tol, "tol", opt.Tol, "absolute tolerance on a measure column's mean delta")
+	fs.Float64Var(&opt.Alpha, "alpha", opt.Alpha, "Welch significance level when both sides carry repeated samples")
+	quiet := fs.Bool("q", false, "print only drifts and the summary line")
+	if err := fs.Parse(args); err != nil {
+		return exitcode.Usage
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: report diff [-tol T] [-alpha A] [-q] <base-rundir> <new-rundir>")
+		return exitcode.Usage
+	}
+	base, err := report.Load(fs.Arg(0))
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			fmt.Fprintf(stderr, "report: baseline run dir %s does not exist; nothing to gate against (generate it with `experiments -out`, or commit a baseline run dir)\n", fs.Arg(0))
+			return exitcode.Vacuous
+		}
+		fmt.Fprintf(stderr, "report: %v\n", err)
+		return exitcode.Usage
+	}
+	next, err := report.Load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "report: %v\n", err)
+		return exitcode.Usage
+	}
+	rep := report.Diff(base, next, opt)
+	if rep.AlignedKeys == 0 {
+		fmt.Fprintf(stderr, "report: no aligned result keys between %s (%d rows) and %s (%d rows); the comparison is vacuous, not a pass\n",
+			fs.Arg(0), len(base.Results), fs.Arg(1), len(next.Results))
+		return exitcode.Vacuous
+	}
+	if !*quiet {
+		fmt.Fprintf(stdout, "accudiff %s vs %s\n", fs.Arg(0), fs.Arg(1))
+	}
+	fmt.Fprintf(stdout, "aligned %d keys, compared %d cells (tol=%g, alpha=%g)", rep.AlignedKeys, rep.ComparedCells, opt.Tol, opt.Alpha)
+	if len(rep.OnlyBase) > 0 || len(rep.OnlyNew) > 0 {
+		fmt.Fprintf(stdout, " (%d only in base, %d only in new)", len(rep.OnlyBase), len(rep.OnlyNew))
+	}
+	fmt.Fprintln(stdout)
+	if !*quiet {
+		for _, k := range rep.OnlyBase {
+			fmt.Fprintf(stdout, "only in base: %s\n", k)
+		}
+		for _, k := range rep.OnlyNew {
+			fmt.Fprintf(stdout, "only in new: %s\n", k)
+		}
+	}
+	if len(rep.Drifts) == 0 {
+		fmt.Fprintln(stdout, "no accuracy drift")
+		return exitcode.OK
+	}
+	fmt.Fprintf(stdout, "DRIFT: %d cell(s) beyond tolerance:\n", len(rep.Drifts))
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	for _, d := range rep.Drifts {
+		kind := "measure"
+		if d.Decision {
+			kind = "VERDICT FLIP"
+		}
+		where := d.Table
+		if d.Key != "" {
+			where += " [" + d.Key + "]"
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s -> %s\t%s\t%s\n",
+			d.Experiment, where, d.Column, d.Old, d.New, kind, pNote(d))
+	}
+	tw.Flush()
+	return exitcode.Failed
+}
+
+// pNote renders a drift's statistical backing.
+func pNote(d report.Drift) string {
+	if d.Decision || math.IsNaN(d.P) {
+		return ""
+	}
+	return fmt.Sprintf("p=%.3f", d.P)
+}
+
+func runTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 15, "show the top N paths by self time (0 = all)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: report trace [-top N] <rundir>")
+		return exitcode.Usage
+	}
+	r, err := report.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "report: %v\n", err)
+		return exitcode.Usage
+	}
+	tree := r.Trace
+	source := "trace.json"
+	if tree == nil {
+		tree = report.TreeFromEvents(r.Events)
+		source = "events.jsonl (no start times; utilization unavailable)"
+	}
+	p := report.NewProfile(tree)
+	if p == nil {
+		fmt.Fprintf(stderr, "report: %s carries no span tree (run with -trace or any -out to record one)\n", fs.Arg(0))
+		return exitcode.Usage
+	}
+	fmt.Fprintf(stdout, "trace profile: %s — %.1fms wall, %d spans (from %s)\n\n", p.Root, p.RootMS, p.Spans, source)
+
+	fmt.Fprintln(stdout, "hot path (longest child at each level):")
+	for i, h := range p.Hot {
+		fmt.Fprintf(stdout, "  %*s%s  %.1fms  %.1f%%\n", 2*i, "", h.Name, h.DurationMS, 100*h.FracRoot)
+	}
+	fmt.Fprintln(stdout)
+
+	paths := p.Paths
+	if *top > 0 && len(paths) > *top {
+		paths = paths[:*top]
+	}
+	fmt.Fprintf(stdout, "top %d paths by self time (of %d):\n", len(paths), len(p.Paths))
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  path\tcount\ttotal\tself\tself%")
+	for _, ps := range paths {
+		frac := 0.0
+		if p.RootMS > 0 {
+			frac = ps.SelfMS / p.RootMS
+		}
+		fmt.Fprintf(tw, "  %s\t%d\t%.1fms\t%.1fms\t%.1f%%\n", ps.Path, ps.Count, ps.TotalMS, ps.SelfMS, 100*frac)
+	}
+	tw.Flush()
+	fmt.Fprintln(stdout)
+
+	if len(p.Counters) > 0 {
+		fmt.Fprintln(stdout, "counter rollups:")
+		ctw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+		for _, c := range p.Counters {
+			fmt.Fprintf(ctw, "  %s\t%d\n", c.Name, c.Total)
+		}
+		ctw.Flush()
+		fmt.Fprintln(stdout)
+	}
+
+	if p.Util != nil {
+		fmt.Fprintf(stdout, "workers: avg %.2f concurrent (busy %.1fms over %.1fms wall), peak %d, %d leaf spans\n",
+			p.Util.Avg, p.Util.BusyMS, p.Util.WallMS, p.Util.Peak, p.Util.Leaves)
+	}
+	return exitcode.OK
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hamlet/internal/exitcode"
+)
+
+// fixture resolves a committed run directory under internal/report/testdata.
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "internal", "report", "testdata", name)
+	if name != "missing" {
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("fixture %s: %v", name, err)
+		}
+	}
+	return path
+}
+
+// drive runs the CLI in-process and returns (exit code, stdout, stderr).
+func drive(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestTablesRendersGolden(t *testing.T) {
+	code, out, errOut := drive(t, "tables", fixture(t, "base"))
+	if code != exitcode.OK {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	want, err := os.ReadFile(fixture(t, "tables.golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("tables output diverged from golden:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestDiffExitCodes(t *testing.T) {
+	cases := []struct {
+		name      string
+		base, new string
+		want      int
+	}{
+		{"identical runs pass", "base", "base", exitcode.OK},
+		{"seeded drift fails", "base", "drift", exitcode.Failed},
+		{"disjoint keys vacuous", "base", "disjoint", exitcode.Vacuous},
+		{"missing baseline vacuous", "missing", "base", exitcode.Vacuous},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, out, errOut := drive(t, "diff", fixture(t, c.base), fixture(t, c.new))
+			if code != c.want {
+				t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, c.want, out, errOut)
+			}
+		})
+	}
+}
+
+func TestDiffNamesTheSeededDrift(t *testing.T) {
+	code, out, _ := drive(t, "diff", fixture(t, "base"), fixture(t, "drift"))
+	if code != exitcode.Failed {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"DRIFT", "dErr", "0.0047 -> 0.0647", "safeROR(C)", "VERDICT FLIP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffQuietAndTolerance(t *testing.T) {
+	// tol=1 silences the measure drift; the verdict flip still gates.
+	code, out, _ := drive(t, "diff", "-q", "-tol", "1", fixture(t, "base"), fixture(t, "drift"))
+	if code != exitcode.Failed {
+		t.Fatalf("exit = %d, want %d", code, exitcode.Failed)
+	}
+	if strings.Contains(out, "dErr") || !strings.Contains(out, "VERDICT FLIP") {
+		t.Errorf("tol=1 output: %s", out)
+	}
+}
+
+func TestTraceProfile(t *testing.T) {
+	code, out, errOut := drive(t, "trace", fixture(t, "base"))
+	if code != exitcode.OK {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"trace profile: experiments", "hot path", "self", "workers: avg", "counter rollups", "models_trained"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"frobnicate"},
+		{"tables"},
+		{"tables", "a", "b"},
+		{"diff", "only-one"},
+		{"trace"},
+	}
+	for _, args := range cases {
+		if code, _, _ := drive(t, args...); code != exitcode.Usage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitcode.Usage)
+		}
+	}
+}
+
+func TestHelpExitsClean(t *testing.T) {
+	code, _, errOut := drive(t, "help")
+	if code != exitcode.OK || !strings.Contains(errOut, "subcommands") {
+		t.Errorf("help: exit %d, stderr %s", code, errOut)
+	}
+}

@@ -1,0 +1,25 @@
+// Package exitcode pins the exit-status convention shared by the repo's
+// gate commands — cmd/benchdiff (perf regressions between benchmark
+// snapshots) and cmd/report's diff subcommand (accuracy drift between run
+// directories). Both are CI gates, and CI must be able to distinguish
+// "the gate ran and passed" from "the gate ran and failed" from "the gate
+// never really ran"; keeping the codes in one place keeps the two commands
+// from drifting apart.
+package exitcode
+
+const (
+	// OK: the comparison ran and found nothing beyond threshold.
+	OK = 0
+	// Failed: the gate tripped — at least one significant regression
+	// (benchdiff) or accuracy drift (report diff). CI fails the job.
+	Failed = 1
+	// Usage: bad flags, missing arguments, or unparseable *new* input.
+	// Conventionally Go CLIs use 2 for usage errors; both gates keep it.
+	Usage = 2
+	// Vacuous: the comparison never meaningfully happened — the baseline
+	// side is missing, or the two sides share zero aligned entries. A
+	// distinct code stops a broken or mis-wired gate from masquerading as
+	// a clean pass: CI treats it as failure, but the message tells the
+	// operator to fix the baseline, not the code under test.
+	Vacuous = 3
+)

@@ -47,6 +47,9 @@ func OpenRunDir(dir string, info *RunInfo) (*RunDir, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("obs: create run dir: %w", err)
 	}
+	// Every written manifest carries the current schema version, even when
+	// the caller built the RunInfo by hand rather than via CollectRunInfo.
+	info.SchemaVersion = SchemaVersion
 	if err := writeJSON(filepath.Join(dir, ManifestFile), info); err != nil {
 		return nil, err
 	}

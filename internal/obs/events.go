@@ -15,9 +15,9 @@ import (
 // one self-describing JSON object per line, so the trajectory of a Monte
 // Carlo campaign can be replayed, diffed, and audited after the fact.
 //
-// Schema: every line has "time" (RFC 3339 with sub-second precision) and
-// "msg" (the event kind); the remaining keys are per-kind attributes. Kinds
-// emitted by this package:
+// Schema: every line has "time" (RFC 3339 with sub-second precision),
+// "msg" (the event kind), and "v" (the artifact SchemaVersion); the
+// remaining keys are per-kind attributes. Kinds emitted by this package:
 //
 //	run_start   tool, commit (when stamped)
 //	span_end    path, duration_ms, counters{...}
@@ -54,7 +54,9 @@ func newEventLog(w io.Writer, fixed *time.Time) *EventLog {
 			return a
 		},
 	}
-	return &EventLog{log: slog.New(slog.NewJSONHandler(w, opts))}
+	// The version stamp rides on the logger, not on each Emit call, so every
+	// line — including CLI-emitted custom kinds — carries it right after msg.
+	return &EventLog{log: slog.New(slog.NewJSONHandler(w, opts)).With(slog.Int("v", SchemaVersion))}
 }
 
 // Emit writes one event of the given kind with the given attributes.

@@ -91,6 +91,9 @@ func TestEventLogRoundTrip(t *testing.T) {
 		if _, hasLevel := ev["level"]; hasLevel {
 			t.Errorf("line %d carries a level key; events are unleveled: %s", i+1, line)
 		}
+		if ev["v"] != float64(SchemaVersion) {
+			t.Errorf("line %d schema stamp v = %v, want %d: %s", i+1, ev["v"], SchemaVersion, line)
+		}
 		kind, _ := ev["msg"].(string)
 		kinds = append(kinds, kind)
 		switch kind {

@@ -18,6 +18,10 @@ import (
 // field except Start is identical from run to run, so manifests diff
 // cleanly (tests pin this).
 type RunInfo struct {
+	// SchemaVersion is the artifact schema the run directory was written
+	// under (see SchemaVersion; readers gate on it via CheckSchemaVersion).
+	// Zero identifies legacy, pre-versioning artifacts.
+	SchemaVersion int `json:"schema_version"`
 	// Tool is the producing command ("hamlet", "simulate", "experiments").
 	Tool string `json:"tool"`
 	// Flags is the fully resolved flag set — every registered flag with its
@@ -48,6 +52,8 @@ type RunInfo struct {
 // flag.CommandLine from a CLI).
 func CollectRunInfo(tool string, fs *flag.FlagSet) *RunInfo {
 	info := &RunInfo{
+		SchemaVersion: SchemaVersion,
+
 		Tool:       tool,
 		Flags:      make(map[string]string),
 		GoVersion:  runtime.Version(),

@@ -1,0 +1,62 @@
+package obs
+
+import "fmt"
+
+// SchemaVersion is the artifact schema this package writes. It is stamped
+// into every run directory — as `schema_version` in manifest.json and as a
+// `v` field on every events.jsonl and results.jsonl line — so readers
+// (internal/report) can refuse artifacts they do not understand instead of
+// silently misparsing them.
+//
+// The version is a single major number: any change that would break an
+// existing reader (renamed keys, changed units, removed kinds) bumps it.
+// Purely additive changes (new event kinds, new optional keys) do not.
+//
+// Schema v1 (current):
+//
+//	manifest.json   RunInfo: schema_version, tool, flags{...}, commit,
+//	                go_version, goos/goarch/gomaxprocs, start
+//	events.jsonl    one JSON object per line: time (RFC 3339), msg (kind),
+//	                v, then per-kind attributes; kinds run_start, progress,
+//	                span_end, run_end plus CLI-specific kinds
+//	trace.json      span tree: name, start, duration_ms, counters{...},
+//	                children[...] (or null for traceless runs)
+//	metrics.json    Default metrics-registry snapshot (flat JSON object)
+//	results.jsonl   one ResultRow per line (experiments only)
+//
+// Version 0 is the pre-versioning schema (identical minus the version
+// stamps); readers accept it as legacy.
+const SchemaVersion = 1
+
+// CheckSchemaVersion validates an artifact schema version read back from a
+// run directory. Version 0 (legacy, pre-versioning artifacts) and every
+// version up to SchemaVersion are accepted; anything newer means the
+// artifacts were written by a newer build than the reader, which must
+// refuse rather than guess.
+func CheckSchemaVersion(v int) error {
+	if v < 0 || v > SchemaVersion {
+		return fmt.Errorf("obs: artifact schema v%d not understood by this build (reads up to v%d); rebuild the reader from the commit that wrote the artifacts, or newer", v, SchemaVersion)
+	}
+	return nil
+}
+
+// ResultRow is one line of results.jsonl: a single table row of one
+// experiment, self-describing enough to rebuild the rendered table without
+// re-running the Monte Carlo sweep. cmd/experiments writes it; the read
+// side (internal/report) decodes into the same struct, so writer and reader
+// cannot drift apart.
+type ResultRow struct {
+	// V is the artifact schema version (SchemaVersion at write time; 0 on
+	// legacy lines).
+	V int `json:"v"`
+	// Experiment is the experiment id ("fig3", "tan", ...).
+	Experiment string `json:"experiment"`
+	// Table is the table title the row belongs to.
+	Table string `json:"table"`
+	// Columns preserves the table's header order (cells alone cannot: JSON
+	// objects have no order). Empty on legacy lines; readers then fall back
+	// to sorted cell keys.
+	Columns []string `json:"columns,omitempty"`
+	// Cells maps column name to the rendered cell.
+	Cells map[string]string `json:"cells"`
+}

@@ -1,0 +1,309 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hamlet/internal/obs"
+	"hamlet/internal/stats"
+)
+
+// This file is the accudiff: benchdiff's alignment-and-gate shape applied
+// to accuracy artifacts. Two runs' results.jsonl rows are aligned by
+// (experiment, table, key-column values); measure columns are compared as
+// numbers against an absolute tolerance, with a Welch t-test (the same
+// internal/stats machinery benchdiff uses) filtering noise whenever a key
+// repeats often enough to yield real samples on both sides; decision
+// columns (rule verdicts) must match exactly — a verdict flip IS the drift
+// the paper's safety claims care about, however small the error delta that
+// caused it.
+//
+// Column classification leans on the repo's rendering convention — measures
+// are formatted with %.4f (always a '.'), config keys with %d (never one):
+//
+//   - measure:  every non-empty cell parses as a float and contains '.'
+//   - decision: every non-empty cell is a bool ("true"/"false") or a known
+//     verdict token (AVOID/JOIN/SAFE/UNSAFE/YES/NO, any case)
+//   - key:      everything else (dataset names, plans, integer configs)
+
+// DiffOptions tunes the accudiff gate.
+type DiffOptions struct {
+	// Tol is the absolute tolerance on a measure column's mean delta;
+	// differences at or below it never count as drift. Accuracy measures
+	// (test error, dErr) live in [0,1], so the default 1e-3 means "a tenth
+	// of a percentage point of error".
+	Tol float64
+	// Alpha is the Welch significance level used when both sides carry at
+	// least two samples for an aligned key; with fewer samples the
+	// tolerance alone decides (a lone pair cannot be exonerated by
+	// statistics — same policy as benchdiff).
+	Alpha float64
+}
+
+// DefaultDiffOptions matches the cmd/report defaults.
+var DefaultDiffOptions = DiffOptions{Tol: 1e-3, Alpha: 0.05}
+
+// Drift is one gated difference between aligned rows.
+type Drift struct {
+	// Experiment, Table, and Key identify the aligned row group; Key is the
+	// key-column cells joined with "/" ("" for tables with no key columns).
+	Experiment, Table, Key string
+	// Column is the drifted column.
+	Column string
+	// Decision marks a verdict flip (Old/New carry the verdicts); otherwise
+	// the drift is numeric and OldMean/NewMean/P are set.
+	Decision bool
+	// Old and New are the rendered values: verdicts for decision drifts,
+	// formatted means for measure drifts.
+	Old, New string
+	// OldMean and NewMean are the per-side sample means (measure drifts).
+	OldMean, NewMean float64
+	// P is the Welch two-sided p-value (NaN when either side has fewer
+	// than two samples).
+	P float64
+}
+
+// DiffReport is the aligned comparison of two runs' results.
+type DiffReport struct {
+	// Drifts holds every gated difference, sorted by experiment, table,
+	// key, column. Empty means the runs agree within tolerance.
+	Drifts []Drift
+	// AlignedKeys counts row groups present on both sides; zero makes the
+	// comparison vacuous (exit 3 at the CLI, mirroring benchdiff).
+	AlignedKeys int
+	// ComparedCells counts measure and decision comparisons performed.
+	ComparedCells int
+	// OnlyBase and OnlyNew hold row-group keys present on one side only
+	// (sorted); they do not gate, but the CLI surfaces the counts so a
+	// shrinking experiment can't pass unnoticed.
+	OnlyBase, OnlyNew []string
+}
+
+// colClass is a column's inferred role in the diff.
+type colClass int
+
+const (
+	classKey colClass = iota
+	classMeasure
+	classDecision
+)
+
+// verdictTokens are the non-boolean cell values recognized as decisions.
+var verdictTokens = map[string]bool{
+	"avoid": true, "join": true, "safe": true, "unsafe": true, "yes": true, "no": true,
+}
+
+// classify infers each column's role from every value it takes across both
+// runs (classifying over the union keeps the two sides symmetric).
+func classify(rows []obs.ResultRow) map[string]colClass {
+	values := make(map[string][]string)
+	for _, row := range rows {
+		for col, v := range row.Cells {
+			values[col] = append(values[col], v)
+		}
+	}
+	classes := make(map[string]colClass, len(values))
+	for col, vs := range values {
+		classes[col] = classifyValues(vs)
+	}
+	return classes
+}
+
+func classifyValues(vs []string) colClass {
+	measure, decision, seen := true, true, false
+	for _, v := range vs {
+		if v == "" {
+			continue
+		}
+		seen = true
+		if _, err := strconv.ParseFloat(v, 64); err != nil || !strings.Contains(v, ".") {
+			measure = false
+		}
+		lower := strings.ToLower(v)
+		if lower != "true" && lower != "false" && !verdictTokens[lower] {
+			decision = false
+		}
+	}
+	switch {
+	case !seen:
+		return classKey
+	case decision:
+		return classDecision
+	case measure:
+		return classMeasure
+	default:
+		return classKey
+	}
+}
+
+// rowGroup is the aligned unit: all rows of one (experiment, table, key).
+type rowGroup struct {
+	experiment, table, key string
+	rows                   []obs.ResultRow
+}
+
+// groupRows buckets one run's rows by (experiment, table, key-column
+// values), preserving row order inside each bucket so repeated keys align
+// sample-by-sample.
+func groupRows(rows []obs.ResultRow, classes map[string]map[string]colClass) (map[string]*rowGroup, []string) {
+	groups := make(map[string]*rowGroup)
+	var order []string
+	for _, row := range rows {
+		cls := classes[tableID(row)]
+		var keyParts []string
+		for _, col := range columnsOf(row) {
+			if cls[col] == classKey {
+				keyParts = append(keyParts, row.Cells[col])
+			}
+		}
+		key := strings.Join(keyParts, "/")
+		id := tableID(row) + "\x1f" + key
+		g := groups[id]
+		if g == nil {
+			g = &rowGroup{experiment: row.Experiment, table: row.Table, key: key}
+			groups[id] = g
+			order = append(order, id)
+		}
+		g.rows = append(g.rows, row)
+	}
+	return groups, order
+}
+
+// tableID joins experiment and table into one classification scope.
+func tableID(row obs.ResultRow) string { return row.Experiment + "\x1f" + row.Table }
+
+// Diff aligns base's and next's results and gates on accuracy drift.
+func Diff(base, next *Run, opt DiffOptions) *DiffReport {
+	// Classify columns over the union of both runs, per table.
+	byTable := make(map[string][]obs.ResultRow)
+	for _, row := range base.Results {
+		byTable[tableID(row)] = append(byTable[tableID(row)], row)
+	}
+	for _, row := range next.Results {
+		byTable[tableID(row)] = append(byTable[tableID(row)], row)
+	}
+	classes := make(map[string]map[string]colClass, len(byTable))
+	for id, rows := range byTable {
+		classes[id] = classify(rows)
+	}
+
+	baseGroups, baseOrder := groupRows(base.Results, classes)
+	nextGroups, _ := groupRows(next.Results, classes)
+
+	rep := &DiffReport{}
+	for _, id := range baseOrder {
+		bg := baseGroups[id]
+		ng, ok := nextGroups[id]
+		if !ok {
+			rep.OnlyBase = append(rep.OnlyBase, groupLabel(bg))
+			continue
+		}
+		rep.AlignedKeys++
+		rep.Drifts = append(rep.Drifts, diffGroup(bg, ng, classes[bg.experiment+"\x1f"+bg.table], opt, &rep.ComparedCells)...)
+	}
+	for id, ng := range nextGroups {
+		if _, ok := baseGroups[id]; !ok {
+			rep.OnlyNew = append(rep.OnlyNew, groupLabel(ng))
+		}
+	}
+	sort.Strings(rep.OnlyBase)
+	sort.Strings(rep.OnlyNew)
+	sort.Slice(rep.Drifts, func(i, j int) bool {
+		a, b := rep.Drifts[i], rep.Drifts[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Column < b.Column
+	})
+	return rep
+}
+
+// groupLabel renders a row group for the only-in-one-side lists.
+func groupLabel(g *rowGroup) string {
+	label := g.experiment + ": " + g.table
+	if g.key != "" {
+		label += " [" + g.key + "]"
+	}
+	return label
+}
+
+// diffGroup compares one aligned row group column by column.
+func diffGroup(bg, ng *rowGroup, cls map[string]colClass, opt DiffOptions, cells *int) []Drift {
+	var drifts []Drift
+	for _, col := range columnsOf(bg.rows[0]) {
+		switch cls[col] {
+		case classDecision:
+			*cells++
+			if d, flipped := diffDecision(bg, ng, col); flipped {
+				drifts = append(drifts, d)
+			}
+		case classMeasure:
+			*cells++
+			if d, drifted := diffMeasure(bg, ng, col, opt); drifted {
+				drifts = append(drifts, d)
+			}
+		}
+	}
+	return drifts
+}
+
+// diffDecision compares a verdict column pairwise across the aligned rows.
+func diffDecision(bg, ng *rowGroup, col string) (Drift, bool) {
+	n := min(len(bg.rows), len(ng.rows))
+	for i := 0; i < n; i++ {
+		oldV, newV := bg.rows[i].Cells[col], ng.rows[i].Cells[col]
+		if oldV != newV {
+			return Drift{
+				Experiment: bg.experiment, Table: bg.table, Key: bg.key,
+				Column: col, Decision: true, Old: oldV, New: newV,
+				P: math.NaN(),
+			}, true
+		}
+	}
+	return Drift{}, false
+}
+
+// diffMeasure compares a numeric column's per-side samples: the mean delta
+// must exceed the tolerance, and — when both sides have enough samples for
+// a Welch t-test — be significant at alpha.
+func diffMeasure(bg, ng *rowGroup, col string, opt DiffOptions) (Drift, bool) {
+	olds, news := samples(bg, col), samples(ng, col)
+	if len(olds) == 0 || len(news) == 0 {
+		return Drift{}, false
+	}
+	oldMean, newMean := stats.Mean(olds), stats.Mean(news)
+	if math.Abs(newMean-oldMean) <= opt.Tol {
+		return Drift{}, false
+	}
+	_, _, p := stats.WelchTTest(olds, news)
+	if !math.IsNaN(p) && p >= opt.Alpha {
+		return Drift{}, false // noise, not drift
+	}
+	return Drift{
+		Experiment: bg.experiment, Table: bg.table, Key: bg.key,
+		Column:  col,
+		Old:     fmt.Sprintf("%.4f", oldMean),
+		New:     fmt.Sprintf("%.4f", newMean),
+		OldMean: oldMean, NewMean: newMean, P: p,
+	}, true
+}
+
+// samples extracts a column's parseable values across a group's rows.
+func samples(g *rowGroup, col string) []float64 {
+	var out []float64
+	for _, row := range g.rows {
+		if v, err := strconv.ParseFloat(row.Cells[col], 64); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}

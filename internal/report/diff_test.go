@@ -1,0 +1,133 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hamlet/internal/obs"
+)
+
+func TestDiffIdenticalRunsClean(t *testing.T) {
+	base := loadFixture(t, "base")
+	rep := Diff(base, base, DefaultDiffOptions)
+	if len(rep.Drifts) != 0 {
+		t.Fatalf("self-diff found drift: %+v", rep.Drifts)
+	}
+	if rep.AlignedKeys == 0 || rep.ComparedCells == 0 {
+		t.Errorf("self-diff compared nothing: %+v", rep)
+	}
+	if len(rep.OnlyBase) != 0 || len(rep.OnlyNew) != 0 {
+		t.Errorf("self-diff has one-sided keys: %+v", rep)
+	}
+}
+
+// TestDiffSeededDrift pins the gate against the committed drift fixture:
+// the perturbed dErr must surface as a measure drift and the flipped
+// safeROR(C) as a verdict flip — and nothing else.
+func TestDiffSeededDrift(t *testing.T) {
+	rep := Diff(loadFixture(t, "base"), loadFixture(t, "drift"), DefaultDiffOptions)
+	if len(rep.Drifts) != 2 {
+		t.Fatalf("drifts = %+v, want exactly the 2 seeded ones", rep.Drifts)
+	}
+	measure, verdict := rep.Drifts[0], rep.Drifts[1]
+	if measure.Column != "dErr" || measure.Decision || measure.Key != "100/10" {
+		t.Errorf("measure drift = %+v", measure)
+	}
+	if measure.Old != "0.0047" || measure.New != "0.0647" {
+		t.Errorf("measure drift values = %s -> %s", measure.Old, measure.New)
+	}
+	if verdict.Column != "safeROR(C)" || !verdict.Decision || verdict.Old != "true" || verdict.New != "false" {
+		t.Errorf("verdict drift = %+v", verdict)
+	}
+}
+
+func TestDiffDisjointIsVacuous(t *testing.T) {
+	rep := Diff(loadFixture(t, "base"), loadFixture(t, "disjoint"), DefaultDiffOptions)
+	if rep.AlignedKeys != 0 {
+		t.Fatalf("disjoint fixtures aligned %d keys", rep.AlignedKeys)
+	}
+	if len(rep.OnlyBase) == 0 || len(rep.OnlyNew) == 0 {
+		t.Errorf("one-sided keys not reported: %+v", rep)
+	}
+}
+
+func TestDiffToleranceSilencesMeasuresNotVerdicts(t *testing.T) {
+	rep := Diff(loadFixture(t, "base"), loadFixture(t, "drift"), DiffOptions{Tol: 1, Alpha: 0.05})
+	if len(rep.Drifts) != 1 || !rep.Drifts[0].Decision {
+		t.Fatalf("with tol=1 only the verdict flip should remain: %+v", rep.Drifts)
+	}
+}
+
+// mkRun builds an in-memory run whose one table repeats the same key n
+// times with the given measure values — the repeated-sample regime where
+// the Welch test takes over from the raw tolerance.
+func mkRun(vals []float64) *Run {
+	rows := make([]obs.ResultRow, len(vals))
+	for i, v := range vals {
+		rows[i] = obs.ResultRow{
+			V: obs.SchemaVersion, Experiment: "x", Table: "T",
+			Columns: []string{"cfg", "err"},
+			Cells:   map[string]string{"cfg": "a", "err": fmt.Sprintf("%.4f", v)},
+		}
+	}
+	return &Run{Results: rows}
+}
+
+func TestDiffWelchFiltersNoisySamples(t *testing.T) {
+	// Same key 4 times per side; means differ by 0.05 (far over tol) but
+	// within-side spread swamps it, so Welch must exonerate the delta.
+	base := mkRun([]float64{0.10, 0.30, 0.50, 0.70})
+	next := mkRun([]float64{0.15, 0.35, 0.55, 0.75})
+	rep := Diff(base, next, DiffOptions{Tol: 0.001, Alpha: 0.05})
+	if rep.AlignedKeys != 1 {
+		t.Fatalf("aligned = %d", rep.AlignedKeys)
+	}
+	if len(rep.Drifts) != 0 {
+		t.Errorf("noise-level delta flagged as drift: %+v", rep.Drifts)
+	}
+}
+
+func TestDiffWelchConfirmsRealShift(t *testing.T) {
+	// Tight samples, clear separation: significant and over tolerance.
+	base := mkRun([]float64{0.100, 0.101, 0.102, 0.099})
+	next := mkRun([]float64{0.150, 0.151, 0.152, 0.149})
+	rep := Diff(base, next, DiffOptions{Tol: 0.001, Alpha: 0.05})
+	if len(rep.Drifts) != 1 {
+		t.Fatalf("drifts = %+v, want 1", rep.Drifts)
+	}
+	d := rep.Drifts[0]
+	if math.IsNaN(d.P) || d.P >= 0.05 {
+		t.Errorf("expected a significant p-value, got %v", d.P)
+	}
+}
+
+func TestDiffSingleSampleUsesToleranceAlone(t *testing.T) {
+	base := mkRun([]float64{0.10})
+	next := mkRun([]float64{0.12})
+	rep := Diff(base, next, DiffOptions{Tol: 0.001, Alpha: 0.05})
+	if len(rep.Drifts) != 1 || !math.IsNaN(rep.Drifts[0].P) {
+		t.Fatalf("single-sample drift = %+v, want flagged with NaN p", rep.Drifts)
+	}
+}
+
+func TestClassifyValues(t *testing.T) {
+	cases := []struct {
+		vals []string
+		want colClass
+	}{
+		{[]string{"0.1234", "0.0000", "1.5000"}, classMeasure}, // %.4f measures
+		{[]string{"100", "200", "4000"}, classKey},             // %d configs
+		{[]string{"true", "false"}, classDecision},
+		{[]string{"AVOID", "join"}, classDecision},
+		{[]string{"Walmart", "Yelp"}, classKey},
+		{[]string{"JoinAll", "JoinOpt"}, classKey},
+		{[]string{"0.5", "x"}, classKey}, // mixed: not a measure
+		{nil, classKey},
+	}
+	for _, c := range cases {
+		if got := classifyValues(c.vals); got != c.want {
+			t.Errorf("classifyValues(%v) = %v, want %v", c.vals, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hamlet/internal/experiments"
+	"hamlet/internal/obs"
+)
+
+// Tables rebuilds the rendered experiment tables from the run's
+// results.jsonl rows alone: one experiments.Result per experiment id, in
+// first-appearance order, each table's rows in line order. Column order
+// comes from the rows' Columns stamp; legacy rows (no stamp) fall back to
+// sorted cell keys, so pre-versioning artifacts still render, just without
+// the original header order.
+func (r *Run) Tables() []*experiments.Result {
+	type tableKey struct{ experiment, title string }
+	var (
+		order   []tableKey
+		builder = make(map[tableKey]*experiments.Table)
+	)
+	for _, row := range r.Results {
+		k := tableKey{row.Experiment, row.Table}
+		t := builder[k]
+		if t == nil {
+			t = &experiments.Table{Title: row.Table, Columns: columnsOf(row)}
+			builder[k] = t
+			order = append(order, k)
+		}
+		cells := make([]string, len(t.Columns))
+		for i, col := range t.Columns {
+			cells[i] = row.Cells[col]
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	var (
+		results []*experiments.Result
+		byID    = make(map[string]*experiments.Result)
+	)
+	for _, k := range order {
+		res := byID[k.experiment]
+		if res == nil {
+			res = &experiments.Result{ID: k.experiment}
+			byID[k.experiment] = res
+			results = append(results, res)
+		}
+		res.Tables = append(res.Tables, builder[k])
+	}
+	return results
+}
+
+// columnsOf returns the header order for a row: its Columns stamp when
+// present, otherwise the sorted cell keys (legacy lines).
+func columnsOf(row obs.ResultRow) []string {
+	if len(row.Columns) > 0 {
+		return row.Columns
+	}
+	cols := make([]string, 0, len(row.Cells))
+	for c := range row.Cells {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// WriteTables renders every rebuilt table in the same shape cmd/experiments
+// prints live (per-experiment "## id" headers, then each table), minus the
+// wall-clock timings that artifacts deliberately do not preserve. The
+// output is a pure function of results.jsonl, so it golden-tests cleanly.
+func (r *Run) WriteTables(w io.Writer) error {
+	results := r.Tables()
+	if len(results) == 0 {
+		return fmt.Errorf("report: %s has no %s rows to render (only experiments runs write results)", r.Dir, obs.ResultsFile)
+	}
+	for _, res := range results {
+		if _, err := fmt.Fprintf(w, "## %s\n\n", res.ID); err != nil {
+			return err
+		}
+		if err := res.WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

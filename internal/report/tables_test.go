@@ -1,0 +1,61 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hamlet/internal/obs"
+)
+
+// TestTablesGolden pins the tables subcommand's core contract: the rendered
+// output is a pure function of results.jsonl, byte-for-byte. The golden file
+// is also what scripts/verify.sh and CI smoke against.
+func TestTablesGolden(t *testing.T) {
+	r := loadFixture(t, "base")
+	var buf bytes.Buffer
+	if err := r.WriteTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tables.golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("rebuilt tables diverged from golden output:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestTablesGroupingAndOrder(t *testing.T) {
+	r := &Run{Results: []obs.ResultRow{
+		{V: 1, Experiment: "fig7", Table: "B", Columns: []string{"k", "v"}, Cells: map[string]string{"k": "1", "v": "0.1000"}},
+		{V: 1, Experiment: "fig3", Table: "A", Columns: []string{"k", "v"}, Cells: map[string]string{"k": "1", "v": "0.2000"}},
+		{V: 1, Experiment: "fig7", Table: "B", Columns: []string{"k", "v"}, Cells: map[string]string{"k": "2", "v": "0.3000"}},
+		{V: 1, Experiment: "fig7", Table: "C", Columns: []string{"k", "v"}, Cells: map[string]string{"k": "1", "v": "0.4000"}},
+	}}
+	results := r.Tables()
+	if len(results) != 2 || results[0].ID != "fig7" || results[1].ID != "fig3" {
+		t.Fatalf("experiment order = %+v", results)
+	}
+	if len(results[0].Tables) != 2 || results[0].Tables[0].Title != "B" || results[0].Tables[1].Title != "C" {
+		t.Fatalf("fig7 table order = %+v", results[0].Tables)
+	}
+	b := results[0].Tables[0]
+	if len(b.Rows) != 2 || b.Cell(0, "v") != "0.1000" || b.Cell(1, "k") != "2" {
+		t.Errorf("table B rows = %+v", b.Rows)
+	}
+}
+
+func TestWriteTablesEmptyRun(t *testing.T) {
+	r := &Run{Dir: "x"}
+	if err := r.WriteTables(&bytes.Buffer{}); err == nil {
+		t.Error("WriteTables on a resultless run should error")
+	}
+}

@@ -15,6 +15,10 @@
 #   6. benchdiff smoke test against the committed fixture snapshots: a
 #      clean comparison must exit 0 and the injected >10% regression must
 #      exit 1, so the perf gate itself is gated.
+#   7. report smoke test against the committed run-dir fixtures: tables
+#      must render, the identical-run diff must exit 0, and the
+#      seeded-drift fixture must exit 1, so the accuracy gate itself is
+#      gated the same way.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -54,6 +58,14 @@ echo "verify: benchdiff smoke" >&2
 go run ./cmd/benchdiff -q cmd/benchdiff/testdata/old.json cmd/benchdiff/testdata/new_ok.json >/dev/null
 if go run ./cmd/benchdiff -q cmd/benchdiff/testdata/old.json cmd/benchdiff/testdata/new_regressed.json >/dev/null 2>&1; then
     echo "verify: benchdiff failed to flag the fixture regression" >&2
+    exit 1
+fi
+
+echo "verify: report smoke" >&2
+go run ./cmd/report tables internal/report/testdata/base >/dev/null
+go run ./cmd/report diff -q internal/report/testdata/base internal/report/testdata/base >/dev/null
+if go run ./cmd/report diff -q internal/report/testdata/base internal/report/testdata/drift >/dev/null 2>&1; then
+    echo "verify: report diff failed to flag the seeded-drift fixture" >&2
     exit 1
 fi
 
