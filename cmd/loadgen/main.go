@@ -1,0 +1,295 @@
+// Command loadgen measures the advisor hot path at service speed: it drives
+// join-avoidance decisions (or full hamlet.Analyze pipelines) in-process at
+// configurable concurrency, duration, and target rate over a dataset
+// registry with cached per-table sufficient statistics, and records
+// per-request latency into log-linear obs histograms. It is the measurement
+// harness the planned cmd/advisord HTTP service will be benchmarked with:
+// the ROADMAP's sub-millisecond-p99 claim has to be demonstrable before the
+// transport exists.
+//
+// Usage:
+//
+//	loadgen -duration 2s -workers 8                  # Walmart decisions, unthrottled
+//	loadgen -dataset all -rate 10000 -duration 10s   # 10k req/s across every mimic
+//	loadgen -mode analyze -duration 30s              # full Analyze pipeline per request
+//	loadgen -duration 2s -workers 8 -out runs/lg     # persist run artifacts, including
+//	                                                 # histograms.json for `report latency`
+//	loadgen -duration 2s -precision 9 -progress      # finer quantile error, live ETA
+//
+// Each worker records latencies into its own histogram shard (no cross-CPU
+// contention on the measurement itself); shards merge at exit into the
+// run-level snapshots persisted as histograms.json. Quantiles carry the
+// bucket scheme's relative error bound of 2^-precision (0.79% at the
+// default 7). `report latency <rundir>` renders them; `report latency base
+// new` gates p99 regressions between two runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"time"
+
+	"hamlet"
+	"hamlet/internal/obs"
+	"hamlet/internal/pool"
+	"hamlet/internal/registry"
+)
+
+// Histogram names persisted to histograms.json. The run-level merge is
+// always present; per-dataset entries appear only when the run drove more
+// than one dataset.
+const latencyHist = "request_latency_ns"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests drive the full CLI —
+// flags, the load loop, and artifact persistence — in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name      = fs.String("dataset", "Walmart", "dataset mimic name or \"all\" (requests round-robin across datasets)")
+		scale     = fs.Float64("scale", 0.1, "mimic scale in (0,1]")
+		seed      = fs.Uint64("seed", 1, "generation seed")
+		rule      = fs.String("rule", "TR", "decision rule: TR or ROR")
+		mode      = fs.String("mode", "decide", "request body: decide (advisor rules over cached stats) or analyze (full JoinAll-vs-JoinOpt pipeline)")
+		method    = fs.String("method", "forward", "feature selection method for -mode analyze")
+		duration  = fs.Duration("duration", 2*time.Second, "how long to drive load")
+		workers   = fs.Int("workers", 0, "concurrent request workers (0 = GOMAXPROCS)")
+		rate      = fs.Float64("rate", 0, "target total requests/sec (0 = unthrottled)")
+		precision = fs.Int("precision", obs.DefaultPrecision, "histogram sub-bucket bits; quantile error ≤ 2^-precision")
+		outDir    = fs.String("out", "", "write run artifacts (manifest, events, metrics, trace, histograms.json) to this directory")
+		progress  = fs.Bool("progress", false, "report live throughput/ETA to stderr")
+		prof      obs.ProfileFlags
+	)
+	prof.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *duration <= 0 {
+		fmt.Fprintln(stderr, "loadgen: -duration must be positive")
+		return 2
+	}
+
+	adv := hamlet.NewAdvisor()
+	switch strings.ToUpper(*rule) {
+	case "TR":
+		adv.Rule = hamlet.TRRule
+	case "ROR":
+		adv.Rule = hamlet.RORRule
+	default:
+		fmt.Fprintf(stderr, "loadgen: unknown rule %q (want TR or ROR)\n", *rule)
+		return 2
+	}
+	var sel hamlet.FeatureSelector
+	switch *mode {
+	case "decide":
+	case "analyze":
+		switch *method {
+		case "forward":
+			sel = hamlet.ForwardSelection()
+		case "backward":
+			sel = hamlet.BackwardSelection()
+		case "filter-MI":
+			sel = hamlet.MIFilter()
+		case "filter-IGR":
+			sel = hamlet.IGRFilter()
+		default:
+			fmt.Fprintf(stderr, "loadgen: unknown method %q\n", *method)
+			return 2
+		}
+	default:
+		fmt.Fprintf(stderr, "loadgen: unknown mode %q (want decide or analyze)\n", *mode)
+		return 2
+	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "loadgen: profiling: %v\n", err)
+		}
+	}()
+
+	runDir, err := obs.OpenRunDir(*outDir, obs.CollectRunInfo("loadgen", fs))
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	root := obs.StartSpan("loadgen")
+
+	// Warm the registry before the clock starts: generation and the
+	// sufficient-statistics scan are setup cost, not request latency.
+	setup := root.Child("setup(registry)")
+	names := []string{*name}
+	if *name == "all" {
+		names = registry.Names()
+	}
+	reg := registry.New()
+	entries := make([]*registry.Entry, len(names))
+	for i, n := range names {
+		if entries[i], err = reg.Get(n, *scale, *seed); err != nil {
+			setup.End()
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			_ = runDir.Close(root, err)
+			return 1
+		}
+	}
+	setup.End()
+
+	nWorkers := pool.Workers(*workers)
+	var prog *obs.Progress // nil no-ops through every method
+	if *progress {
+		prog = obs.NewProgress(stderr, "loadgen", time.Second)
+		prog.AttachEvents(runDir.Events())
+		if *rate > 0 {
+			prog.AddTotal(int64(*rate * duration.Seconds()))
+		}
+	}
+
+	// One histogram shard per (worker, dataset): the measurement itself must
+	// not serialize the workers it measures. Shards merge after the run.
+	shards := make([][]*obs.Histogram, nWorkers)
+	for w := range shards {
+		shards[w] = make([]*obs.Histogram, len(entries))
+		for d := range shards[w] {
+			shards[w][d] = obs.NewHistogram(*precision)
+		}
+	}
+
+	// Per-worker pacing interval for a global -rate target; worker start
+	// offsets stagger so the aggregate stream is evenly spaced.
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(nWorkers) / *rate * float64(time.Second))
+	}
+
+	drive := root.Child(fmt.Sprintf("drive(mode=%s)", *mode))
+	started := time.Now()
+	deadline := started.Add(*duration)
+	perr := pool.Run(nWorkers, nWorkers, func(w int) error {
+		// Progress batching: decide-mode requests run in hundreds of
+		// nanoseconds, so stepping the shared reporter per request would
+		// serialize the workers on its mutex.
+		batch := int64(512)
+		if *mode == "analyze" {
+			batch = 1
+		}
+		next := started.Add(time.Duration(float64(interval) * float64(w) / float64(nWorkers)))
+		var pending int64
+		for i := 0; ; i++ {
+			now := time.Now()
+			if !now.Before(deadline) {
+				break
+			}
+			if interval > 0 {
+				if now.Before(next) {
+					time.Sleep(next.Sub(now))
+				}
+				next = next.Add(interval)
+				if now.Sub(next) > 64*interval {
+					next = now // cap pacing debt after a stall; don't burst unbounded
+				}
+			}
+			d := i % len(entries)
+			e := entries[d]
+			var err error
+			start := time.Now()
+			if *mode == "decide" {
+				_, err = e.Decide(adv)
+			} else {
+				_, err = hamlet.Analyze(e.Dataset, sel, adv, *seed)
+			}
+			shards[w][d].Observe(time.Since(start).Nanoseconds())
+			if err != nil {
+				return fmt.Errorf("loadgen: %s request on %s: %w", *mode, e.Dataset.Name, err)
+			}
+			if pending++; pending == batch {
+				prog.Step(pending)
+				pending = 0
+			}
+		}
+		prog.Step(pending)
+		return nil
+	})
+	elapsed := time.Since(started)
+	drive.End()
+	prog.Flush()
+	if perr != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", perr)
+		_ = runDir.Close(root, perr)
+		return 1
+	}
+
+	// Merge the shards: across workers into per-dataset snapshots, then
+	// across datasets into the run-level histogram.
+	var total obs.HistogramSnapshot
+	hists := make(map[string]obs.HistogramSnapshot)
+	for d, e := range entries {
+		var per obs.HistogramSnapshot
+		for w := range shards {
+			if err := per.Merge(shards[w][d].Snapshot()); err != nil {
+				fmt.Fprintf(stderr, "loadgen: %v\n", err)
+				return 1
+			}
+		}
+		if len(entries) > 1 {
+			hists[latencyHist+"."+e.Dataset.Name] = per
+		}
+		if err := total.Merge(per); err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 1
+		}
+	}
+	if total.Count == 0 {
+		// Merge skips empty shards, so adopt the precision explicitly: even a
+		// zero-request run writes a well-formed artifact.
+		total.Precision = shards[0][0].Snapshot().Precision
+	}
+	hists[latencyHist] = total
+	drive.Add("requests", total.Count)
+
+	rps := float64(total.Count) / elapsed.Seconds()
+	fmt.Fprintf(stdout, "loadgen: mode %s, datasets %s, %d workers, %v", *mode, strings.Join(names, ","), nWorkers, duration.Round(time.Millisecond))
+	if *rate > 0 {
+		fmt.Fprintf(stdout, ", target %.0f req/s", *rate)
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "requests: %d in %v (%.1f req/s)\n", total.Count, elapsed.Round(time.Millisecond), rps)
+	fmt.Fprintf(stdout, "latency:  p50 %v  p90 %v  p99 %v  p99.9 %v  (min %v  mean %v  max %v)\n",
+		ns(total.Quantile(0.50)), ns(total.Quantile(0.90)), ns(total.Quantile(0.99)), ns(total.Quantile(0.999)),
+		ns(total.Min), ns(int64(total.Mean())), ns(total.Max))
+	fmt.Fprintf(stdout, "precision: %d sub-bucket bits (quantile error ≤ %.2f%%)\n", total.Precision, 100*total.MaxQuantileError())
+
+	runDir.Events().Emit("loadgen_summary",
+		slog.String("mode", *mode),
+		slog.Int("workers", nWorkers),
+		slog.Int64("requests", total.Count),
+		slog.Float64("req_per_sec", rps),
+		slog.Int64("p50_ns", total.Quantile(0.50)),
+		slog.Int64("p99_ns", total.Quantile(0.99)),
+		slog.Int64("p999_ns", total.Quantile(0.999)),
+	)
+	if err := runDir.WriteHistograms(hists); err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	root.End()
+	if err := runDir.Close(root, nil); err != nil {
+		fmt.Fprintf(stderr, "loadgen: run artifacts: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// ns renders a nanosecond latency as a duration string.
+func ns(v int64) time.Duration { return time.Duration(v) }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hamlet/internal/obs"
+)
+
+// drive runs the CLI in-process.
+func drive(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRunWritesHistogramsArtifact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	code, out, errOut := drive(t,
+		"-duration", "50ms", "-workers", "2", "-scale", "0.02", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	for _, want := range []string{"requests:", "latency:", "p50", "p99.9", "precision:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// The run dir holds the standard artifacts plus histograms.json.
+	for _, f := range []string{obs.ManifestFile, obs.EventsFile, obs.MetricsFile, obs.TraceFile, obs.HistogramsFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("artifact %s: %v", f, err)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, obs.HistogramsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art obs.HistogramsArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.SchemaVersion != obs.SchemaVersion {
+		t.Errorf("SchemaVersion = %d, want %d", art.SchemaVersion, obs.SchemaVersion)
+	}
+	h, ok := art.Histograms["request_latency_ns"]
+	if !ok {
+		t.Fatalf("histograms = %v, want request_latency_ns", art.Histograms)
+	}
+	if h.Count == 0 {
+		t.Fatal("recorded zero requests in 50ms")
+	}
+	if h.Precision != obs.DefaultPrecision {
+		t.Errorf("Precision = %d, want %d", h.Precision, obs.DefaultPrecision)
+	}
+	// Quantiles are monotone and bracketed by the exact extremes.
+	qs := []int64{h.Min, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Quantile(0.999), h.Max}
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			t.Fatalf("quantiles not monotone: %v", qs)
+		}
+	}
+}
+
+func TestRunAllDatasetsRecordsPerDatasetHistograms(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	code, _, errOut := drive(t,
+		"-duration", "50ms", "-dataset", "all", "-scale", "0.02", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, obs.HistogramsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art obs.HistogramsArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	total, ok := art.Histograms["request_latency_ns"]
+	if !ok {
+		t.Fatal("missing run-level histogram")
+	}
+	var sum int64
+	var perDataset int
+	for name, h := range art.Histograms {
+		if strings.HasPrefix(name, "request_latency_ns.") {
+			perDataset++
+			sum += h.Count
+		}
+	}
+	if perDataset < 2 {
+		t.Fatalf("per-dataset histograms = %d, want several for -dataset all", perDataset)
+	}
+	if sum != total.Count {
+		t.Errorf("per-dataset counts sum to %d, run-level count is %d", sum, total.Count)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-duration", "0s"},
+		{"-rule", "nope"},
+		{"-mode", "nope"},
+		{"-mode", "analyze", "-method", "nope"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		if code, _, _ := drive(t, args...); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunUnknownDatasetFails(t *testing.T) {
+	code, _, errOut := drive(t, "-duration", "50ms", "-dataset", "NoSuchDataset")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "NoSuchDataset") {
+		t.Errorf("stderr does not name the dataset:\n%s", errOut)
+	}
+}

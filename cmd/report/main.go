@@ -8,6 +8,7 @@
 //
 //	report tables <rundir>                    # rebuild the experiment tables
 //	                                          # from results.jsonl
+//	report tables -format csv <rundir>        # ...as csv (long form) or json
 //	report diff <base-rundir> <new-rundir>    # accudiff: gate on accuracy
 //	                                          # drift between two runs
 //	report diff -tol 0.002 -alpha 0.01 -q base new
@@ -15,15 +16,27 @@
 //	                                          # total/self, hot path,
 //	                                          # counters, worker utilization
 //	report trace -top 10 <rundir>
+//	report trace -folded <rundir>             # folded stacks for
+//	                                          # flamegraph.pl / speedscope
+//	report latency <rundir>                   # quantile tables from a
+//	                                          # loadgen run's histograms.json
+//	report latency <base-rundir> <new-rundir> # latdiff: gate on a quantile
+//	                                          # regression between two runs
+//	report latency -quantile 0.999 -tol 0.25 base new
 //
-// `report diff` mirrors cmd/benchdiff's exit-status convention (see
-// internal/exitcode): 0 when the runs agree within tolerance, 1 on
-// significant accuracy drift (a mean delta beyond -tol, Welch-filtered when
-// samples allow, or any rule-verdict flip), 2 on usage or parse errors, and
-// 3 when the comparison is vacuous — the base run directory is missing or
-// the two runs share zero aligned result keys. CI gates on it the same way
-// it gates on benchdiff: both 1 and 3 fail the job, but 3 tells the
-// operator to fix the baseline, not the code.
+// `report diff` and `report latency base new` mirror cmd/benchdiff's
+// exit-status convention (see internal/exitcode): 0 when the runs agree
+// within tolerance, 1 on a significant regression (accuracy drift beyond
+// -tol or a rule-verdict flip for diff; a gated-quantile regression beyond
+// -tol plus the histograms' bucket error for latency), 2 on usage or parse
+// errors, and 3 when the comparison is vacuous — the base run directory is
+// missing or the two runs share zero aligned entries. CI gates on it the
+// same way it gates on benchdiff: both 1 and 3 fail the job, but 3 tells
+// the operator to fix the baseline, not the code. Read-only subcommands
+// (tables, trace, one-run latency) also exit 3 when pointed at a missing
+// run directory or one whose artifacts cannot answer the question — the
+// directory is not evidence of anything, which is vacuous, not a usage
+// mistake.
 //
 // Artifacts carry a schema version (manifest schema_version, per-line "v");
 // report refuses versions newer than it understands instead of misreading
@@ -39,6 +52,7 @@ import (
 	"math"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"hamlet/internal/exitcode"
 	"hamlet/internal/report"
@@ -62,6 +76,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runDiff(args[1:], stdout, stderr)
 	case "trace":
 		return runTrace(args[1:], stdout, stderr)
+	case "latency":
+		return runLatency(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stderr)
 		return exitcode.OK
@@ -76,29 +92,66 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage: report <subcommand> [flags] <args>
 
 subcommands:
-  tables <rundir>          rebuild experiment tables from results.jsonl
-  diff   <base> <new>      gate on accuracy drift between two run dirs
-                           (exit 0 clean, 1 drift, 3 vacuous — as benchdiff)
-  trace  <rundir>          profile the span tree: per-path total/self time,
-                           hot path, counter rollups, worker utilization
+  tables  <rundir>          rebuild experiment tables from results.jsonl
+                            (-format text|csv|json)
+  diff    <base> <new>      gate on accuracy drift between two run dirs
+                            (exit 0 clean, 1 drift, 3 vacuous — as benchdiff)
+  trace   <rundir>          profile the span tree: per-path total/self time,
+                            hot path, counter rollups, worker utilization
+                            (-folded emits flamegraph.pl/speedscope stacks)
+  latency <rundir>          quantile tables from a loadgen run's histograms
+  latency <base> <new>      gate a latency quantile between two loadgen runs
+                            (-quantile Q -tol T; exit codes as diff)
 `)
+}
+
+// loadRun loads a run directory for a read-only subcommand, mapping the two
+// non-answers to the gate convention: a missing directory (or one missing
+// its manifest) is vacuous — there is nothing to report on — while a
+// present-but-unreadable one is a usage/parse error.
+func loadRun(dir string, stderr io.Writer) (*report.Run, int) {
+	r, err := report.Load(dir)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			fmt.Fprintf(stderr, "report: %s is not a run directory (missing or no %s); nothing to report\n", dir, "manifest.json")
+			return nil, exitcode.Vacuous
+		}
+		fmt.Fprintf(stderr, "report: %v\n", err)
+		return nil, exitcode.Usage
+	}
+	return r, exitcode.OK
 }
 
 func runTables(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("report tables", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "output format: text, csv (long form), or json")
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: report tables <rundir>")
+		fmt.Fprintln(stderr, "usage: report tables [-format text|csv|json] <rundir>")
 		return exitcode.Usage
 	}
-	r, err := report.Load(fs.Arg(0))
+	r, code := loadRun(fs.Arg(0), stderr)
+	if code != exitcode.OK {
+		return code
+	}
+	var err error
+	switch *format {
+	case "text":
+		err = r.WriteTables(stdout)
+	case "csv":
+		err = r.WriteTablesCSV(stdout)
+	case "json":
+		err = r.WriteTablesJSON(stdout)
+	default:
+		fmt.Fprintf(stderr, "report: unknown -format %q (want text, csv, or json)\n", *format)
+		return exitcode.Usage
+	}
 	if err != nil {
+		// The run loaded but carries no result rows: a real run directory
+		// from a non-experiments tool. That is "nothing to render", not a
+		// usage mistake.
 		fmt.Fprintf(stderr, "report: %v\n", err)
-		return exitcode.Usage
-	}
-	if err := r.WriteTables(stdout); err != nil {
-		fmt.Fprintf(stderr, "report: %v\n", err)
-		return exitcode.Usage
+		return exitcode.Vacuous
 	}
 	return exitcode.OK
 }
@@ -126,10 +179,9 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "report: %v\n", err)
 		return exitcode.Usage
 	}
-	next, err := report.Load(fs.Arg(1))
-	if err != nil {
-		fmt.Fprintf(stderr, "report: %v\n", err)
-		return exitcode.Usage
+	next, code := loadRun(fs.Arg(1), stderr)
+	if code != exitcode.OK {
+		return code
 	}
 	rep := report.Diff(base, next, opt)
 	if rep.AlignedKeys == 0 {
@@ -187,14 +239,14 @@ func runTrace(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("report trace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	top := fs.Int("top", 15, "show the top N paths by self time (0 = all)")
+	folded := fs.Bool("folded", false, "emit folded stacks (path;path;leaf self_µs) for flamegraph.pl or speedscope instead of the profile")
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: report trace [-top N] <rundir>")
+		fmt.Fprintln(stderr, "usage: report trace [-top N] [-folded] <rundir>")
 		return exitcode.Usage
 	}
-	r, err := report.Load(fs.Arg(0))
-	if err != nil {
-		fmt.Fprintf(stderr, "report: %v\n", err)
-		return exitcode.Usage
+	r, code := loadRun(fs.Arg(0), stderr)
+	if code != exitcode.OK {
+		return code
 	}
 	tree := r.Trace
 	source := "trace.json"
@@ -205,7 +257,14 @@ func runTrace(args []string, stdout, stderr io.Writer) int {
 	p := report.NewProfile(tree)
 	if p == nil {
 		fmt.Fprintf(stderr, "report: %s carries no span tree (run with -trace or any -out to record one)\n", fs.Arg(0))
-		return exitcode.Usage
+		return exitcode.Vacuous
+	}
+	if *folded {
+		if err := p.WriteFolded(stdout); err != nil {
+			fmt.Fprintf(stderr, "report: %v\n", err)
+			return exitcode.Usage
+		}
+		return exitcode.OK
 	}
 	fmt.Fprintf(stdout, "trace profile: %s — %.1fms wall, %d spans (from %s)\n\n", p.Root, p.RootMS, p.Spans, source)
 
@@ -248,3 +307,67 @@ func runTrace(args []string, stdout, stderr io.Writer) int {
 	}
 	return exitcode.OK
 }
+
+// runLatency renders one loadgen run's quantile tables, or gates a latency
+// quantile between two runs ("latdiff").
+func runLatency(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report latency", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	opt := report.DefaultLatencyDiffOptions
+	fs.Float64Var(&opt.Quantile, "quantile", opt.Quantile, "quantile the two-run gate compares (0.99 = p99)")
+	fs.Float64Var(&opt.Tol, "tol", opt.Tol, "relative regression tolerance on the gated quantile (0.10 = +10%); the histograms' bucket error is added on top")
+	if err := fs.Parse(args); err != nil || fs.NArg() < 1 || fs.NArg() > 2 {
+		fmt.Fprintln(stderr, "usage: report latency [-quantile Q] [-tol T] <rundir> [<new-rundir>]")
+		return exitcode.Usage
+	}
+	base, code := loadRun(fs.Arg(0), stderr)
+	if code != exitcode.OK {
+		return code
+	}
+
+	if fs.NArg() == 1 {
+		if err := base.WriteLatency(stdout); err != nil {
+			fmt.Fprintf(stderr, "report: %v\n", err)
+			return exitcode.Vacuous
+		}
+		return exitcode.OK
+	}
+
+	next, code := loadRun(fs.Arg(1), stderr)
+	if code != exitcode.OK {
+		return code
+	}
+	rep := report.LatencyDiff(base, next, opt)
+	if len(rep.Deltas) == 0 {
+		fmt.Fprintf(stderr, "report: no aligned histograms between %s (%d) and %s (%d); the comparison is vacuous, not a pass\n",
+			fs.Arg(0), len(base.Histograms), fs.Arg(1), len(next.Histograms))
+		return exitcode.Vacuous
+	}
+	fmt.Fprintf(stdout, "latdiff %s vs %s — p%g, tol +%.0f%% (+ bucket error)\n",
+		fs.Arg(0), fs.Arg(1), 100*rep.Quantile, 100*opt.Tol)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "histogram\tbase\tnew\tdelta\tverdict")
+	for _, d := range rep.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%+.1f%%\t%s\n", d.Name, ns(d.Base), ns(d.New), 100*d.Rel, verdict)
+	}
+	tw.Flush()
+	for _, name := range rep.OnlyBase {
+		fmt.Fprintf(stdout, "only in base: %s\n", name)
+	}
+	for _, name := range rep.OnlyNew {
+		fmt.Fprintf(stdout, "only in new: %s\n", name)
+	}
+	if n := rep.Regressions(); n > 0 {
+		fmt.Fprintf(stdout, "REGRESSION: %d histogram(s) beyond tolerance\n", n)
+		return exitcode.Failed
+	}
+	fmt.Fprintln(stdout, "no latency regression")
+	return exitcode.OK
+}
+
+// ns renders a nanosecond latency as a duration string.
+func ns(v int64) time.Duration { return time.Duration(v) }

@@ -100,6 +100,117 @@ func TestTraceProfile(t *testing.T) {
 	}
 }
 
+func TestLatencyRendersFixture(t *testing.T) {
+	code, out, errOut := drive(t, "latency", fixture(t, "latency_base"))
+	if code != exitcode.OK {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"request_latency_ns", "p50", "p99.9", "100000", "precision 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("latency output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLatencyDiffExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"identical runs pass", []string{"latency", "latency_base", "latency_base"}, exitcode.OK},
+		{"seeded p99 regression fails", []string{"latency", "latency_base", "latency_regress"}, exitcode.Failed},
+		{"improvement passes", []string{"latency", "latency_regress", "latency_base"}, exitcode.OK},
+		{"generous tolerance passes", []string{"latency", "-tol", "9", "latency_base", "latency_regress"}, exitcode.OK},
+		{"p50 gate ignores tail-only regression", []string{"latency", "-quantile", "0.5", "latency_base", "latency_regress"}, exitcode.OK},
+		{"missing baseline vacuous", []string{"latency", "missing", "latency_base"}, exitcode.Vacuous},
+		{"histogram-less run vacuous", []string{"latency", "base"}, exitcode.Vacuous},
+		{"no aligned histograms vacuous", []string{"latency", "base", "drift"}, exitcode.Vacuous},
+	}
+	fixtures := map[string]bool{"latency_base": true, "latency_regress": true, "base": true, "drift": true, "missing": true}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			args := append([]string{}, c.args...)
+			for i, a := range args {
+				if fixtures[a] {
+					args[i] = fixture(t, a)
+				}
+			}
+			code, out, errOut := drive(t, args...)
+			if code != c.want {
+				t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, c.want, out, errOut)
+			}
+		})
+	}
+}
+
+func TestLatencyDiffNamesTheRegression(t *testing.T) {
+	code, out, _ := drive(t, "latency", fixture(t, "latency_base"), fixture(t, "latency_regress"))
+	if code != exitcode.Failed {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"latdiff", "request_latency_ns", "REGRESSED", "REGRESSION: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("latdiff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTablesFormats(t *testing.T) {
+	code, out, errOut := drive(t, "tables", "-format", "csv", fixture(t, "base"))
+	if code != exitcode.OK || !strings.HasPrefix(out, "experiment,table,row,column,value\n") {
+		t.Errorf("csv: exit %d, stderr %s, out:\n%.100s", code, errOut, out)
+	}
+	code, out, errOut = drive(t, "tables", "-format", "json", fixture(t, "base"))
+	if code != exitcode.OK || !strings.HasPrefix(out, "[") {
+		t.Errorf("json: exit %d, stderr %s, out:\n%.100s", code, errOut, out)
+	}
+	if code, _, _ := drive(t, "tables", "-format", "yaml", fixture(t, "base")); code != exitcode.Usage {
+		t.Errorf("unknown format: exit %d, want %d", code, exitcode.Usage)
+	}
+}
+
+func TestTraceFolded(t *testing.T) {
+	code, out, errOut := drive(t, "trace", "-folded", fixture(t, "base"))
+	if code != exitcode.OK {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		stack, _, ok := strings.Cut(line, " ")
+		if !ok || !strings.HasPrefix(stack, "experiments") {
+			t.Fatalf("bad folded line %q", line)
+		}
+	}
+}
+
+// TestVacuousRunDirs pins the exit-3 policy for read-only subcommands: a
+// missing run dir or one whose artifacts cannot answer the question is
+// vacuous, not a usage error.
+func TestVacuousRunDirs(t *testing.T) {
+	cases := [][]string{
+		{"tables", "missing"},
+		{"trace", "missing"},
+		{"latency", "missing"},
+		{"tables", "latency_base"},  // loads, but has no results.jsonl
+		{"trace", "latency_base"},   // loads, but carries no span tree
+		{"latency", "base"},         // loads, but has no histograms.json
+		{"diff", "base", "missing"}, // new side missing
+	}
+	for _, args := range cases {
+		full := append([]string{args[0]}, args[1:]...)
+		for i := 1; i < len(full); i++ {
+			full[i] = fixture(t, full[i])
+		}
+		code, _, errOut := drive(t, full...)
+		if code != exitcode.Vacuous {
+			t.Errorf("run(%v) = %d, want %d (stderr: %s)", args, code, exitcode.Vacuous, errOut)
+		}
+		if errOut == "" {
+			t.Errorf("run(%v) exited vacuous with no explanation", args)
+		}
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	cases := [][]string{
 		nil,
@@ -108,6 +219,8 @@ func TestUsageErrors(t *testing.T) {
 		{"tables", "a", "b"},
 		{"diff", "only-one"},
 		{"trace"},
+		{"latency"},
+		{"latency", "a", "b", "c"},
 	}
 	for _, args := range cases {
 		if code, _, _ := drive(t, args...); code != exitcode.Usage {

@@ -1,11 +1,7 @@
 package core
 
 import (
-	"fmt"
-	"math"
-
 	"hamlet/internal/dataset"
-	"hamlet/internal/stats"
 )
 
 // Rule selects which decision rule the advisor applies.
@@ -95,71 +91,16 @@ func (a *Advisor) trainFraction() float64 {
 }
 
 // Decide evaluates every attribute table of the dataset and returns one
-// Decision per table, in declaration order.
+// Decision per table, in declaration order. It is CollectStats followed by
+// DecideFromStats; callers answering many decision requests over the same
+// dataset (cmd/loadgen, a decision service) should collect once and call
+// DecideFromStats directly.
 func (a *Advisor) Decide(d *dataset.Dataset) ([]Decision, error) {
-	if err := d.Validate(); err != nil {
+	s, err := CollectStats(d)
+	if err != nil {
 		return nil, err
 	}
-	nTrain := int(a.trainFraction() * float64(d.NumRows()))
-	if nTrain <= 0 {
-		return nil, fmt.Errorf("core: dataset %q leaves no training rows", d.Name)
-	}
-	th := a.thresholds()
-
-	// Appendix D guard: refuse all avoidance under malign target skew.
-	guardTripped := false
-	if !a.DisableEntropyGuard {
-		y := d.Entity.Column(d.Target)
-		hy := stats.Entropy(y.Data, y.Card)
-		guardTripped = hy < EntropyGuardBits
-	}
-
-	decisions := make([]Decision, 0, len(d.Attrs))
-	for _, at := range d.Attrs {
-		dec := Decision{FK: at.FK, Attr: at.Table.Name, DFK: at.Table.NumRows()}
-		qrs := math.MaxInt
-		for _, c := range at.Table.Columns() {
-			if c.Card < qrs {
-				qrs = c.Card
-			}
-		}
-		if at.Table.NumCols() == 0 {
-			qrs = 1
-		}
-		dec.QRStar = qrs
-		if tr, err := TupleRatio(nTrain, at.Table.NumRows()); err == nil {
-			dec.TR = tr
-		}
-		if ror, err := ROR(nTrain, dec.DFK, min(qrs, dec.DFK), a.delta()); err == nil {
-			dec.ROR = ror
-		}
-		switch {
-		case !at.ClosedDomain:
-			dec.Considered = false
-			dec.Reason = "foreign key domain is not closed; FK cannot represent the foreign features"
-		case guardTripped:
-			dec.Considered = false
-			dec.Reason = fmt.Sprintf("H(Y) below %.2g bits: conservative malign-skew guard (Appendix D)", EntropyGuardBits)
-		default:
-			dec.Considered = true
-			switch a.Rule {
-			case TRRule:
-				dec.Avoid = dec.TR >= th.Tau
-				if !dec.Avoid {
-					dec.Reason = fmt.Sprintf("TR %.2f < τ %.2f", dec.TR, th.Tau)
-				}
-			case RORRule:
-				dec.Avoid = dec.ROR <= th.Rho
-				if !dec.Avoid {
-					dec.Reason = fmt.Sprintf("ROR %.2f > ρ %.2f", dec.ROR, th.Rho)
-				}
-			default:
-				return nil, fmt.Errorf("core: unknown rule %d", a.Rule)
-			}
-		}
-		decisions = append(decisions, dec)
-	}
-	return decisions, nil
+	return a.DecideFromStats(s)
 }
 
 // JoinOptPlan returns the paper's JoinOpt plan: join exactly the attribute

@@ -13,7 +13,7 @@ var (
 	materializeCount = obs.C("dataset.materializations")
 	materializeRows  = obs.C("dataset.rows_materialized")
 	materializeCells = obs.C("dataset.cells_materialized")
-	materializeHist  = obs.H("dataset.design_rows", obs.Pow2Bounds(64, 16)...)
+	materializeHist  = obs.H("dataset.design_rows")
 )
 
 // Plan describes which attribute-table joins to perform and whether

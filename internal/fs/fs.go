@@ -31,7 +31,7 @@ import (
 var (
 	evalCount  = obs.C("fs.subset_evaluations")
 	selectRuns = obs.C("fs.selection_runs")
-	evalHist   = obs.H("fs.evaluations_per_run", obs.Pow2Bounds(8, 16)...)
+	evalHist   = obs.H("fs.evaluations_per_run")
 )
 
 // observeRun records one completed selection run's evaluation count.

@@ -17,7 +17,7 @@ import (
 var (
 	predictBatches = obs.C("ml.predict_batches")
 	predictRows    = obs.C("ml.rows_predicted")
-	predictHist    = obs.H("ml.rows_per_predict", obs.Pow2Bounds(64, 16)...)
+	predictHist    = obs.H("ml.rows_per_predict")
 )
 
 // Model is a trained classifier instance: a prediction function over the

@@ -25,7 +25,7 @@ import (
 // fast path), and Learner.Fit calls.
 var (
 	statsBuilds     = obs.C("nb.stats_builds")
-	statsRowsHist   = obs.H("nb.stats_rows", obs.Pow2Bounds(64, 16)...)
+	statsRowsHist   = obs.H("nb.stats_rows")
 	modelAssemblies = obs.C("nb.models_assembled")
 	fitCalls        = obs.C("nb.fits")
 )

@@ -23,7 +23,19 @@ const (
 	// ResultsFile is the per-figure result stream (experiments only),
 	// appended as each experiment completes.
 	ResultsFile = "results.jsonl"
+	// HistogramsFile holds named latency histogram snapshots (loadgen),
+	// written at close. Optional: readers must load run dirs without it.
+	HistogramsFile = "histograms.json"
 )
+
+// HistogramsArtifact is the histograms.json payload: named histogram
+// snapshots under a schema stamp. The write side is WriteHistograms; the
+// read side is internal/report, which gates on the version like every other
+// artifact.
+type HistogramsArtifact struct {
+	SchemaVersion int                          `json:"schema_version"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+}
 
 // RunDir persists one run's artifacts to a directory: the manifest at open,
 // a live event stream while running, and the metrics snapshot plus span
@@ -98,6 +110,20 @@ func (r *RunDir) AppendResult(v any) error {
 	}
 	_, err = r.results.Write(append(data, '\n'))
 	return err
+}
+
+// WriteHistograms persists named histogram snapshots as histograms.json.
+// The artifact is additive to schema v1: run directories without it load
+// exactly as before, and readers that predate it ignore the file. A nil
+// *RunDir or an empty map no-ops.
+func (r *RunDir) WriteHistograms(hists map[string]HistogramSnapshot) error {
+	if r == nil || len(hists) == 0 {
+		return nil
+	}
+	return writeJSON(filepath.Join(r.dir, HistogramsFile), HistogramsArtifact{
+		SchemaVersion: SchemaVersion,
+		Histograms:    hists,
+	})
 }
 
 // Close finalizes the run: emits the span tree (root may be nil) and a

@@ -44,7 +44,7 @@ func BenchmarkCounterAddDisabled(b *testing.B) {
 
 func BenchmarkHistogramObserveEnabled(b *testing.B) {
 	SetEnabled(true)
-	h := newHistogram(Pow2Bounds(64, 16))
+	h := NewHistogram(DefaultPrecision)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Observe(int64(i & 0xffff))
@@ -54,7 +54,7 @@ func BenchmarkHistogramObserveEnabled(b *testing.B) {
 func BenchmarkHistogramObserveDisabled(b *testing.B) {
 	SetEnabled(false)
 	defer SetEnabled(true)
-	h := newHistogram(Pow2Bounds(64, 16))
+	h := NewHistogram(DefaultPrecision)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Observe(int64(i & 0xffff))

@@ -2,8 +2,6 @@ package obs
 
 import (
 	"expvar"
-	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -54,95 +52,6 @@ func (g *Gauge) Value() int64 {
 	return g.n.Load()
 }
 
-// Histogram is a bounded histogram: observations are counted into buckets
-// delimited by inclusive upper bounds, with one implicit overflow bucket.
-// Updates are lock-free atomics.
-type Histogram struct {
-	bounds  []int64 // sorted inclusive upper bounds; len(buckets) == len(bounds)+1
-	buckets []atomic.Int64
-	count   atomic.Int64
-	sum     atomic.Int64
-}
-
-// newHistogram builds a histogram over sorted inclusive upper bounds.
-func newHistogram(bounds []int64) *Histogram {
-	bs := append([]int64(nil), bounds...)
-	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
-	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
-}
-
-// Observe records one value when the metrics layer is enabled.
-func (h *Histogram) Observe(v int64) {
-	if h == nil || !enabled.Load() {
-		return
-	}
-	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	if h == nil {
-		return 0
-	}
-	return h.count.Load()
-}
-
-// Sum returns the sum of observed values.
-func (h *Histogram) Sum() int64 {
-	if h == nil {
-		return 0
-	}
-	return h.sum.Load()
-}
-
-// HistogramSnapshot is a consistent-enough copy of a histogram for
-// rendering: per-bucket counts labeled "<=bound" plus a ">bound" overflow.
-type HistogramSnapshot struct {
-	Count   int64            `json:"count"`
-	Sum     int64            `json:"sum"`
-	Buckets map[string]int64 `json:"buckets,omitempty"`
-}
-
-// Snapshot captures the histogram's current buckets, omitting empty ones.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	if h == nil {
-		return HistogramSnapshot{}
-	}
-	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
-	for i := range h.buckets {
-		n := h.buckets[i].Load()
-		if n == 0 {
-			continue
-		}
-		if s.Buckets == nil {
-			s.Buckets = make(map[string]int64)
-		}
-		label := fmt.Sprintf(">%d", h.bounds[len(h.bounds)-1])
-		if i < len(h.bounds) {
-			label = fmt.Sprintf("<=%d", h.bounds[i])
-		}
-		s.Buckets[label] = n
-	}
-	return s
-}
-
-// Pow2Bounds returns n inclusive upper bounds starting at lo and doubling:
-// lo, 2lo, 4lo, ... — the default bucketing for row/evaluation counts whose
-// interesting range spans orders of magnitude.
-func Pow2Bounds(lo int64, n int) []int64 {
-	if lo < 1 {
-		lo = 1
-	}
-	out := make([]int64, 0, n)
-	for v, i := lo, 0; i < n; v, i = v*2, i+1 {
-		out = append(out, v)
-	}
-	return out
-}
-
 // Registry is a named collection of metrics. Metrics are created on first
 // use and live for the life of the process.
 type Registry struct {
@@ -189,14 +98,15 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns the named histogram, creating it with the given bounds
-// on first use (later calls reuse the existing bounds).
-func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+// Histogram returns the named histogram, creating it at DefaultPrecision on
+// first use. Histograms needing a different precision are built directly
+// with NewHistogram (e.g. cmd/loadgen's per-worker latency shards).
+func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		h = newHistogram(bounds)
+		h = NewHistogram(DefaultPrecision)
 		r.histograms[name] = h
 	}
 	return h
@@ -231,11 +141,7 @@ func (r *Registry) Reset() {
 		g.n.Store(0)
 	}
 	for _, h := range r.histograms {
-		for i := range h.buckets {
-			h.buckets[i].Store(0)
-		}
-		h.count.Store(0)
-		h.sum.Store(0)
+		h.reset()
 	}
 }
 
@@ -249,7 +155,7 @@ func C(name string) *Counter { return Default.Counter(name) }
 func G(name string) *Gauge { return Default.Gauge(name) }
 
 // H returns a histogram from the Default registry.
-func H(name string, bounds ...int64) *Histogram { return Default.Histogram(name, bounds...) }
+func H(name string) *Histogram { return Default.Histogram(name) }
 
 var publishOnce sync.Once
 

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -141,53 +143,68 @@ func TestNilSpanNoOps(t *testing.T) {
 }
 
 func TestHistogramBuckets(t *testing.T) {
-	h := newHistogram([]int64{10, 100, 1000})
-	// Boundary semantics: bounds are inclusive upper bounds.
-	for _, v := range []int64{1, 10} { // both land in <=10
+	h := NewHistogram(2) // S = 4 sub-buckets: 0..3 exact, then width-doubling eras
+	for _, v := range []int64{0, 3, 4, 7, 8, 9, 1000, -5} {
 		h.Observe(v)
 	}
-	h.Observe(11)   // <=100
-	h.Observe(1000) // <=1000
-	h.Observe(1001) // overflow >1000
 	snap := h.Snapshot()
-	if snap.Count != 5 {
-		t.Errorf("Count = %d, want 5", snap.Count)
+	if snap.Count != 8 {
+		t.Errorf("Count = %d, want 8", snap.Count)
 	}
-	if snap.Sum != 1+10+11+1000+1001 {
-		t.Errorf("Sum = %d, want %d", snap.Sum, 1+10+11+1000+1001)
+	if snap.Sum != 0+3+4+7+8+9+1000+0 { // -5 clamps to 0
+		t.Errorf("Sum = %d", snap.Sum)
 	}
-	want := map[string]int64{"<=10": 2, "<=100": 1, "<=1000": 1, ">1000": 1}
-	for label, n := range want {
-		if snap.Buckets[label] != n {
-			t.Errorf("bucket %q = %d, want %d (all: %v)", label, snap.Buckets[label], n, snap.Buckets)
+	if snap.Min != 0 || snap.Max != 1000 {
+		t.Errorf("Min/Max = %d/%d, want 0/1000", snap.Min, snap.Max)
+	}
+	// Linear range is exact; 8 and 9 share the width-2 bucket [8,9].
+	want := map[int]int64{0: 2, 3: 1, 4: 1, 7: 1, 8: 2}
+	for idx, n := range want {
+		if snap.Buckets[idx] != n {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", idx, snap.Buckets[idx], n, snap.Buckets)
 		}
 	}
-	if len(snap.Buckets) != len(want) {
-		t.Errorf("extra buckets in snapshot: %v", snap.Buckets)
+	if len(snap.Buckets) != len(want)+1 { // +1 for 1000's bucket
+		t.Errorf("unexpected bucket layout: %v", snap.Buckets)
 	}
 }
 
-func TestHistogramUnsortedBounds(t *testing.T) {
-	h := newHistogram([]int64{100, 10})
-	h.Observe(50)
-	if h.Snapshot().Buckets["<=100"] != 1 {
-		t.Errorf("bounds not sorted at construction: %v", h.Snapshot().Buckets)
+func TestHistogramBucketBounds(t *testing.T) {
+	// Every value must land in a bucket whose inclusive upper bound is ≥ the
+	// value and within the 2^-p relative error of it.
+	for _, p := range []uint{0, 2, DefaultPrecision, MaxPrecision} {
+		for _, v := range []int64{0, 1, 2, 3, 100, 1023, 1024, 1025, 1 << 40, math.MaxInt64} {
+			idx := bucketIndex(v, p)
+			ub := bucketUpper(idx, p)
+			if ub < v {
+				t.Fatalf("p=%d v=%d: upper bound %d < value", p, v, ub)
+			}
+			if v > 0 && float64(ub-v) > float64(v)*math.Ldexp(1, -int(p)) {
+				t.Errorf("p=%d v=%d: upper bound %d beyond relative error bound", p, v, ub)
+			}
+			if idx > 0 && bucketUpper(idx-1, p) >= v {
+				t.Errorf("p=%d v=%d: previous bucket also covers the value", p, v)
+			}
+		}
 	}
 }
 
-func TestPow2Bounds(t *testing.T) {
-	got := Pow2Bounds(8, 4)
-	want := []int64{8, 16, 32, 64}
-	if len(got) != len(want) {
-		t.Fatalf("Pow2Bounds(8, 4) = %v, want %v", got, want)
+func TestHistogramSnapshotRoundTripsJSON(t *testing.T) {
+	h := NewHistogram(DefaultPrecision)
+	for _, v := range []int64{5, 90, 5000, 123456789} {
+		h.Observe(v)
 	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("Pow2Bounds(8, 4) = %v, want %v", got, want)
-		}
+	snap := h.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if lo := Pow2Bounds(0, 2); lo[0] != 1 {
-		t.Errorf("Pow2Bounds clamps lo to 1, got %v", lo)
+	var back HistogramSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("snapshot round trip diverged:\n%#v\n%#v", snap, back)
 	}
 }
 
@@ -195,7 +212,7 @@ func TestRegistrySnapshotAndReset(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("joins").Add(3)
 	r.Gauge("rows").Set(7)
-	r.Histogram("sizes", 10, 100).Observe(5)
+	r.Histogram("sizes").Observe(5)
 
 	if c := r.Counter("joins"); c.Value() != 3 {
 		t.Errorf("get-or-create returned a fresh counter, value %d", c.Value())
@@ -227,7 +244,7 @@ func TestDisabledMetricsNoOp(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c").Inc()
 	r.Gauge("g").Set(9)
-	r.Histogram("h", 10).Observe(5)
+	r.Histogram("h").Observe(5)
 	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h").Count() != 0 {
 		t.Error("disabled metrics recorded updates")
 	}

@@ -21,8 +21,13 @@ import "fmt"
 //	                span_end, run_end plus CLI-specific kinds
 //	trace.json      span tree: name, start, duration_ms, counters{...},
 //	                children[...] (or null for traceless runs)
-//	metrics.json    Default metrics-registry snapshot (flat JSON object)
+//	metrics.json    Default metrics-registry snapshot (flat JSON object;
+//	                histograms render as HistogramSnapshot)
 //	results.jsonl   one ResultRow per line (experiments only)
+//	histograms.json named latency HistogramSnapshots under a
+//	                schema_version stamp (loadgen only; optional — added
+//	                additively within v1, so readers must load run
+//	                directories that lack it)
 //
 // Version 0 is the pre-versioning schema (identical minus the version
 // stamps); readers accept it as legacy.

@@ -1,0 +1,123 @@
+// Package registry is the dataset side of the decision service: it resolves
+// dataset names to generated mimics and caches, per dataset, the schema-level
+// sufficient statistics the advisor's rules consume (target entropy, per-table
+// row counts and domain minima — see core.DatasetStats). Generation and the
+// statistics scan happen once per (name, scale, seed); after that a decision
+// request is pure arithmetic over the cached statistics and never rescans
+// data. cmd/loadgen drives this hot path today; the planned cmd/advisord will
+// serve it over HTTP.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hamlet/internal/core"
+	"hamlet/internal/dataset"
+	"hamlet/internal/synth"
+)
+
+// Entry is one cached dataset: the materialized tables plus the advisor's
+// sufficient statistics. Entries are immutable after construction and safe
+// to share across request workers.
+type Entry struct {
+	// Dataset is the generated (or loaded) normalized dataset.
+	Dataset *dataset.Dataset
+	// Stats is the advisor's cached one-scan view of the dataset.
+	Stats *core.DatasetStats
+}
+
+// Decide answers one advisor request from the cached statistics.
+func (e *Entry) Decide(adv *core.Advisor) ([]core.Decision, error) {
+	return adv.DecideFromStats(e.Stats)
+}
+
+type key struct {
+	name  string
+	scale float64
+	seed  uint64
+}
+
+// Registry caches generated datasets keyed by (name, scale, seed).
+// Concurrent Get calls for the same key generate once: the loser of the
+// insertion race waits on the winner's result.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[key]*entrySlot
+}
+
+// entrySlot is a once-cell: the first Get generates under the slot's own
+// lock (not the registry's), so slow generations of different datasets
+// proceed in parallel.
+type entrySlot struct {
+	once  sync.Once
+	entry *Entry
+	err   error
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{entries: make(map[key]*entrySlot)}
+}
+
+// Names lists the datasets Get can resolve (the Figure 6 mimic names).
+func Names() []string {
+	specs := synth.Mimics()
+	names := make([]string, 0, len(specs))
+	for _, s := range specs {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the cached entry for the named mimic at the given scale and
+// seed, generating the dataset and collecting its sufficient statistics on
+// first use.
+func (r *Registry) Get(name string, scale float64, seed uint64) (*Entry, error) {
+	k := key{name, scale, seed}
+	r.mu.Lock()
+	slot, ok := r.entries[k]
+	if !ok {
+		slot = &entrySlot{}
+		r.entries[k] = slot
+	}
+	r.mu.Unlock()
+	slot.once.Do(func() { slot.entry, slot.err = build(name, scale, seed) })
+	return slot.entry, slot.err
+}
+
+// Add caches a caller-supplied dataset (e.g. one loaded from a schema spec)
+// under its own name, collecting its statistics. Scale and seed are recorded
+// as zero. Replaces any previous entry with the same name.
+func (r *Registry) Add(d *dataset.Dataset) (*Entry, error) {
+	stats, err := core.CollectStats(d)
+	if err != nil {
+		return nil, fmt.Errorf("registry: collect stats for %q: %w", d.Name, err)
+	}
+	e := &Entry{Dataset: d, Stats: stats}
+	slot := &entrySlot{entry: e}
+	slot.once.Do(func() {}) // mark resolved
+	r.mu.Lock()
+	r.entries[key{name: d.Name}] = slot
+	r.mu.Unlock()
+	return e, nil
+}
+
+// build generates the mimic and collects its statistics.
+func build(name string, scale float64, seed uint64) (*Entry, error) {
+	spec, err := synth.MimicByName(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := spec.Generate(scale, seed)
+	if err != nil {
+		return nil, fmt.Errorf("registry: generate %s: %w", name, err)
+	}
+	stats, err := core.CollectStats(d)
+	if err != nil {
+		return nil, fmt.Errorf("registry: collect stats for %s: %w", name, err)
+	}
+	return &Entry{Dataset: d, Stats: stats}, nil
+}

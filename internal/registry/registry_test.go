@@ -1,0 +1,99 @@
+package registry
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"hamlet/internal/core"
+)
+
+func TestGetCachesPerKey(t *testing.T) {
+	r := New()
+	a, err := r.Get("Walmart", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Get("Walmart", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second Get did not return the cached entry")
+	}
+	c, err := r.Get("Walmart", 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seed returned the same entry")
+	}
+	if _, err := r.Get("NoSuchDataset", 0.05, 1); err == nil {
+		t.Error("unknown dataset did not error")
+	}
+}
+
+func TestGetConcurrentGeneratesOnce(t *testing.T) {
+	r := New()
+	const callers = 8
+	entries := make([]*Entry, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := r.Get("Yelp", 0.02, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if entries[i] != entries[0] {
+			t.Fatal("concurrent Gets resolved to different entries")
+		}
+	}
+}
+
+// TestEntryDecideMatchesFreshAdvisor pins the service-path contract: a
+// decision answered from cached statistics equals a full Decide that
+// rescans the dataset.
+func TestEntryDecideMatchesFreshAdvisor(t *testing.T) {
+	r := New()
+	for _, name := range Names() {
+		e, err := r.Get(name, 0.02, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		adv := core.NewAdvisor()
+		cached, err := e.Decide(adv)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fresh, err := adv.Decide(e.Dataset)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(cached, fresh) {
+			t.Errorf("%s: cached decisions diverge from fresh Decide", name)
+		}
+	}
+}
+
+func TestAddCachesLoadedDataset(t *testing.T) {
+	r := New()
+	base, err := r.Get("Walmart", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.Add(base.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e.Stats, base.Stats) {
+		t.Error("Add recollected different statistics for the same dataset")
+	}
+}

@@ -13,7 +13,7 @@ var (
 	joinCount    = obs.C("relational.joins")
 	joinProbes   = obs.C("relational.join_probes")
 	joinCells    = obs.C("relational.cells_gathered")
-	joinRowsHist = obs.H("relational.join_rows", obs.Pow2Bounds(64, 16)...)
+	joinRowsHist = obs.H("relational.join_rows")
 )
 
 // ForeignKey describes a KFK reference: a column of the entity table whose

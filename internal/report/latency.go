@@ -1,0 +1,183 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"hamlet/internal/obs"
+)
+
+// This file is the read side of the latency telemetry pipeline: it renders
+// the histograms.json snapshots cmd/loadgen persists into quantile tables
+// and gates a quantile (p99 by default) between two runs — the "latdiff"
+// sibling of the accudiff in diff.go, sharing its exit-code contract
+// through cmd/report.
+
+// latencyQuantiles are the columns every latency table reports.
+var latencyQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"p50", 0.50},
+	{"p90", 0.90},
+	{"p99", 0.99},
+	{"p99.9", 0.999},
+}
+
+// LatencyNames returns the run's histogram names sorted, run-level series
+// before their per-dataset sub-series (plain lexical order does this:
+// "request_latency_ns" < "request_latency_ns.Walmart").
+func (r *Run) LatencyNames() []string {
+	names := make([]string, 0, len(r.Histograms))
+	for name := range r.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteLatency renders every histogram of the run as one quantile table
+// row: count, mean, exact min/max, and the estimated quantiles, with the
+// bucket scheme's error bound stated once per distinct precision. Errors
+// when the run carries no histograms (only loadgen runs write them).
+func (r *Run) WriteLatency(w io.Writer) error {
+	names := r.LatencyNames()
+	if len(names) == 0 {
+		return fmt.Errorf("report: %s has no %s to render (only loadgen runs write latency histograms)", r.Dir, obs.HistogramsFile)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "histogram\tcount\tmin\t")
+	for _, lq := range latencyQuantiles {
+		fmt.Fprintf(tw, "%s\t", lq.label)
+	}
+	fmt.Fprintln(tw, "max\tmean")
+	precisions := make(map[int]bool)
+	for _, name := range names {
+		h := r.Histograms[name]
+		precisions[h.Precision] = true
+		fmt.Fprintf(tw, "%s\t%d\t%s\t", name, h.Count, ns(h.Min))
+		for _, lq := range latencyQuantiles {
+			fmt.Fprintf(tw, "%s\t", ns(h.Quantile(lq.q)))
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", ns(h.Max), ns(int64(h.Mean())))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	ps := make([]int, 0, len(precisions))
+	for p := range precisions {
+		ps = append(ps, p)
+	}
+	sort.Ints(ps)
+	for _, p := range ps {
+		e := obs.HistogramSnapshot{Precision: p}.MaxQuantileError()
+		if _, err := fmt.Fprintf(w, "precision %d: quantile error ≤ %.2f%% (quantiles never undershoot; min/max/mean/count exact)\n", p, 100*e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ns renders a nanosecond value as a duration string.
+func ns(v int64) time.Duration { return time.Duration(v) }
+
+// LatencyDiffOptions configures the latency gate.
+type LatencyDiffOptions struct {
+	// Quantile is the gated quantile (0.99 = p99).
+	Quantile float64
+	// Tol is the relative regression tolerance on the gated quantile: the
+	// gate trips when new > base·(1 + Tol + combined bucket error). Folding
+	// both snapshots' quantile error bounds into the threshold means
+	// quantization alone can never trip it.
+	Tol float64
+}
+
+// DefaultLatencyDiffOptions gates p99 at 10% relative regression.
+var DefaultLatencyDiffOptions = LatencyDiffOptions{Quantile: 0.99, Tol: 0.10}
+
+// LatencyDelta is one aligned histogram's comparison.
+type LatencyDelta struct {
+	// Name is the histogram name present in both runs.
+	Name string
+	// Base and New are the gated quantile's estimates, in nanoseconds.
+	Base, New int64
+	// Rel is New/Base - 1 (0 when Base is 0 and New is 0; +Inf-free: a
+	// zero base with a nonzero new reports Rel as +1 per nanosecond — see
+	// relDelta).
+	Rel float64
+	// Threshold is the effective relative tolerance applied to this pair:
+	// Tol plus both snapshots' bucket error bounds.
+	Threshold float64
+	// Regressed reports Rel > Threshold.
+	Regressed bool
+}
+
+// LatencyDiffReport is the outcome of comparing two runs' histograms.
+type LatencyDiffReport struct {
+	// Quantile echoes the gated quantile.
+	Quantile float64
+	// Deltas holds one entry per aligned histogram name, sorted by name.
+	Deltas []LatencyDelta
+	// OnlyBase and OnlyNew list names present on one side only.
+	OnlyBase, OnlyNew []string
+}
+
+// Regressions counts the deltas that tripped the gate.
+func (r *LatencyDiffReport) Regressions() int {
+	n := 0
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// LatencyDiff aligns the two runs' histograms by name and compares the
+// gated quantile on each. Histograms observed at different precisions still
+// compare — each side's own error bound is folded into the threshold.
+func LatencyDiff(base, next *Run, opt LatencyDiffOptions) *LatencyDiffReport {
+	if opt.Quantile <= 0 || opt.Quantile > 1 {
+		opt.Quantile = DefaultLatencyDiffOptions.Quantile
+	}
+	rep := &LatencyDiffReport{Quantile: opt.Quantile}
+	for _, name := range base.LatencyNames() {
+		b := base.Histograms[name]
+		n, ok := next.Histograms[name]
+		if !ok {
+			rep.OnlyBase = append(rep.OnlyBase, name)
+			continue
+		}
+		d := LatencyDelta{
+			Name:      name,
+			Base:      b.Quantile(opt.Quantile),
+			New:       n.Quantile(opt.Quantile),
+			Threshold: opt.Tol + b.MaxQuantileError() + n.MaxQuantileError(),
+		}
+		d.Rel = relDelta(d.Base, d.New)
+		d.Regressed = d.Rel > d.Threshold
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, name := range next.LatencyNames() {
+		if _, ok := base.Histograms[name]; !ok {
+			rep.OnlyNew = append(rep.OnlyNew, name)
+		}
+	}
+	return rep
+}
+
+// relDelta is new/base - 1 with a bounded answer for a zero base: equal
+// zeros are no change, and any regression from zero counts its nanoseconds
+// (so it always exceeds a sane tolerance without producing +Inf).
+func relDelta(base, next int64) float64 {
+	if base == 0 {
+		if next == 0 {
+			return 0
+		}
+		return float64(next)
+	}
+	return float64(next)/float64(base) - 1
+}

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hamlet/internal/obs"
+)
+
+// TestLoadLatencyFixture pins partial-run-dir loading: the latency fixtures
+// carry only manifest.json and histograms.json, and Load must accept that —
+// every other artifact is optional.
+func TestLoadLatencyFixture(t *testing.T) {
+	r := loadFixture(t, "latency_base")
+	if r.Manifest.Tool != "loadgen" {
+		t.Errorf("manifest tool = %q", r.Manifest.Tool)
+	}
+	if len(r.Results) != 0 || len(r.Events) != 0 || r.Trace != nil {
+		t.Error("partial run dir grew artifacts it does not contain")
+	}
+	h, ok := r.Histograms["request_latency_ns"]
+	if !ok {
+		t.Fatalf("histograms = %v", r.Histograms)
+	}
+	if h.Count != 100_000 || h.Precision != obs.DefaultPrecision {
+		t.Errorf("snapshot header = count %d precision %d", h.Count, h.Precision)
+	}
+}
+
+// TestLatencyGolden pins the quantile table rendering byte-for-byte: it is
+// a pure function of histograms.json, like the tables golden.
+func TestLatencyGolden(t *testing.T) {
+	r := loadFixture(t, "latency_base")
+	var buf bytes.Buffer
+	if err := r.WriteLatency(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "latency.golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("latency table diverged from golden output:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteLatencyEmptyRun(t *testing.T) {
+	r := &Run{Dir: "x"}
+	if err := r.WriteLatency(&bytes.Buffer{}); err == nil {
+		t.Error("WriteLatency on a histogram-less run should error")
+	}
+}
+
+// TestLatencyDiffSeededRegression is the gate's core contract on the
+// committed fixtures: identical runs pass, the seeded tail regression
+// (≈3× p99, p50 untouched) trips.
+func TestLatencyDiffSeededRegression(t *testing.T) {
+	base := loadFixture(t, "latency_base")
+	regress := loadFixture(t, "latency_regress")
+
+	same := LatencyDiff(base, base, DefaultLatencyDiffOptions)
+	if same.Regressions() != 0 || len(same.Deltas) != 1 {
+		t.Errorf("self-diff = %+v", same)
+	}
+	rep := LatencyDiff(base, regress, DefaultLatencyDiffOptions)
+	if rep.Regressions() != 1 {
+		t.Fatalf("seeded regression not caught: %+v", rep)
+	}
+	d := rep.Deltas[0]
+	if d.Rel < 1.5 || d.Rel > 4 {
+		t.Errorf("seeded ≈3× tail regression measured at %+.1f%%", 100*d.Rel)
+	}
+	// p50 is deliberately untouched by the seeding; gate it and it passes.
+	median := LatencyDiff(base, regress, LatencyDiffOptions{Quantile: 0.50, Tol: 0.10})
+	if median.Regressions() != 0 {
+		t.Errorf("p50 gate tripped on a tail-only regression: %+v", median.Deltas)
+	}
+}
+
+// runOf wraps constant-valued histograms into a Run for threshold tests.
+func runOf(t *testing.T, values map[string]int64) *Run {
+	t.Helper()
+	hists := make(map[string]obs.HistogramSnapshot, len(values))
+	for name, v := range values {
+		h := obs.NewHistogram(obs.DefaultPrecision)
+		for i := 0; i < 100; i++ {
+			h.Observe(v)
+		}
+		hists[name] = h.Snapshot()
+	}
+	return &Run{Histograms: hists}
+}
+
+// TestLatencyDiffThreshold pins the effective tolerance: -tol plus both
+// snapshots' bucket error bounds. Constant-valued histograms have exact
+// quantiles (clamped to min==max), so the margin is purely the documented
+// bound: 10% + 2·2⁻⁷ ≈ 11.56%.
+func TestLatencyDiffThreshold(t *testing.T) {
+	base := runOf(t, map[string]int64{"h": 10_000})
+	within := runOf(t, map[string]int64{"h": 11_100}) // +11.0% < 11.56%
+	beyond := runOf(t, map[string]int64{"h": 11_300}) // +13.0% > 11.56%
+	opt := LatencyDiffOptions{Quantile: 0.99, Tol: 0.10}
+
+	if rep := LatencyDiff(base, within, opt); rep.Regressions() != 0 {
+		t.Errorf("+11%% tripped a 10%%+bucket-error gate: %+v", rep.Deltas)
+	}
+	rep := LatencyDiff(base, beyond, opt)
+	if rep.Regressions() != 1 {
+		t.Fatalf("+13%% passed a 10%%+bucket-error gate: %+v", rep.Deltas)
+	}
+	wantThreshold := 0.10 + 2*obs.HistogramSnapshot{Precision: obs.DefaultPrecision}.MaxQuantileError()
+	if got := rep.Deltas[0].Threshold; got != wantThreshold {
+		t.Errorf("threshold = %v, want %v", got, wantThreshold)
+	}
+}
+
+// TestLatencyDiffAlignment: unmatched names are reported, never gated, and
+// an improvement is never a regression.
+func TestLatencyDiffAlignment(t *testing.T) {
+	base := runOf(t, map[string]int64{"shared": 10_000, "gone": 500})
+	next := runOf(t, map[string]int64{"shared": 5_000, "new": 500})
+	rep := LatencyDiff(base, next, DefaultLatencyDiffOptions)
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Name != "shared" {
+		t.Fatalf("deltas = %+v", rep.Deltas)
+	}
+	if rep.Deltas[0].Regressed {
+		t.Error("a 2× improvement counted as a regression")
+	}
+	if len(rep.OnlyBase) != 1 || rep.OnlyBase[0] != "gone" {
+		t.Errorf("OnlyBase = %v", rep.OnlyBase)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "new" {
+		t.Errorf("OnlyNew = %v", rep.OnlyNew)
+	}
+
+	disjoint := LatencyDiff(base, runOf(t, map[string]int64{"other": 1}), DefaultLatencyDiffOptions)
+	if len(disjoint.Deltas) != 0 {
+		t.Errorf("disjoint runs aligned %d histograms", len(disjoint.Deltas))
+	}
+}

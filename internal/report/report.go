@@ -42,6 +42,9 @@ type Run struct {
 	Events []Event
 	// Trace is the span tree from trace.json (nil when absent or null).
 	Trace *TraceSpan
+	// Histograms holds histograms.json's named latency snapshots (loadgen
+	// runs only; nil when absent).
+	Histograms map[string]obs.HistogramSnapshot
 }
 
 // Event is one parsed events.jsonl line: the envelope fields plus the
@@ -92,7 +95,30 @@ func Load(dir string) (*Run, error) {
 	if r.Trace, err = loadTrace(filepath.Join(dir, obs.TraceFile)); err != nil {
 		return nil, err
 	}
+	if r.Histograms, err = loadHistograms(filepath.Join(dir, obs.HistogramsFile)); err != nil {
+		return nil, err
+	}
 	return r, nil
+}
+
+// loadHistograms parses histograms.json (nil with a nil error when absent —
+// the artifact is additive; only loadgen runs write it).
+func loadHistograms(path string) (map[string]obs.HistogramSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	var art obs.HistogramsArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("report: parse %s: %w", path, err)
+	}
+	if err := obs.CheckSchemaVersion(art.SchemaVersion); err != nil {
+		return nil, fmt.Errorf("report: %s: %w", path, err)
+	}
+	return art.Histograms, nil
 }
 
 // loadResults parses results.jsonl ([] with a nil error when absent).

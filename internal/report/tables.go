@@ -1,9 +1,12 @@
 package report
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"hamlet/internal/experiments"
 	"hamlet/internal/obs"
@@ -83,4 +86,45 @@ func (r *Run) WriteTables(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteTablesJSON renders the rebuilt tables as one indented JSON document
+// ([]experiments.Result), the machine-readable twin of WriteTables for
+// notebooks and scripts.
+func (r *Run) WriteTablesJSON(w io.Writer) error {
+	results := r.Tables()
+	if len(results) == 0 {
+		return fmt.Errorf("report: %s has no %s rows to render (only experiments runs write results)", r.Dir, obs.ResultsFile)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// WriteTablesCSV renders the rebuilt tables in long form — one record per
+// cell under the header experiment,table,row,column,value — so every table
+// shape flattens into a single spreadsheet/dataframe-friendly stream. Row
+// indices are zero-based within each table.
+func (r *Run) WriteTablesCSV(w io.Writer) error {
+	results := r.Tables()
+	if len(results) == 0 {
+		return fmt.Errorf("report: %s has no %s rows to render (only experiments runs write results)", r.Dir, obs.ResultsFile)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "table", "row", "column", "value"}); err != nil {
+		return err
+	}
+	for _, res := range results {
+		for _, t := range res.Tables {
+			for i, row := range t.Rows {
+				for j, col := range t.Columns {
+					if err := cw.Write([]string{res.ID, t.Title, strconv.Itoa(i), col, row[j]}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

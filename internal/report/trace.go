@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"io"
 	"regexp"
 	"sort"
 	"strings"
@@ -266,6 +267,30 @@ func parentPath(path string) string {
 		return path[:i]
 	}
 	return ""
+}
+
+// WriteFolded renders the profile as folded stacks — one line per
+// generalized path, frames joined by ';' with the path's self time in
+// integer microseconds — the input format flamegraph.pl and speedscope
+// consume directly:
+//
+//	report trace -folded rundir | flamegraph.pl > profile.svg
+//
+// Spaces inside frame names become underscores (the format reserves the
+// space as the frame/value separator). Paths with zero self time after
+// rounding are omitted: they would render as zero-width frames.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	for _, ps := range p.Paths {
+		us := int64(ps.SelfMS*1000 + 0.5)
+		if us == 0 {
+			continue
+		}
+		stack := strings.ReplaceAll(strings.ReplaceAll(ps.Path, " ", "_"), "/", ";")
+		if _, err := fmt.Fprintf(w, "%s %d\n", stack, us); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // String renders the profile compactly for logs and tests; cmd/report does

@@ -1,7 +1,10 @@
 package report
 
 import (
+	"bytes"
 	"math"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 )
@@ -172,5 +175,73 @@ func TestTreeFromEventsEmpty(t *testing.T) {
 	}
 	if p := NewProfile(nil); p != nil {
 		t.Errorf("NewProfile(nil) = %+v", p)
+	}
+}
+
+// TestWriteFolded pins the folded-stacks format: semicolon-joined frames,
+// one space, integer self-microseconds — the grammar flamegraph.pl and
+// speedscope parse. Frame names must not contain the separator characters,
+// and the emitted values must sum to the profile's total self time.
+func TestWriteFolded(t *testing.T) {
+	p := NewProfile(&TraceSpan{
+		Name: "load gen", DurationMS: 20,
+		Children: []*TraceSpan{
+			{Name: "drive(mode=decide)", DurationMS: 15, Children: []*TraceSpan{{Name: "decide[3]", DurationMS: 5}}},
+			{Name: "tiny", DurationMS: 0.0001}, // rounds to 0µs: omitted
+		},
+	})
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	want := map[string]int64{
+		"load_gen":                              5000, // 20 - 15 - 0.0001 ≈ 5ms self
+		"load_gen;drive(mode=decide)":           10000,
+		"load_gen;drive(mode=decide);decide[*]": 5000,
+	}
+	var sum int64
+	for _, line := range lines {
+		stack, val, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(stack, "tiny") {
+			t.Fatalf("bad folded line %q", line)
+		}
+		us, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("value of %q: %v", line, err)
+		}
+		if want[stack] != us {
+			t.Errorf("self(%s) = %dµs, want %dµs", stack, us, want[stack])
+		}
+		sum += us
+	}
+	if len(lines) != len(want) {
+		t.Errorf("folded lines = %v, want %d stacks", lines, len(want))
+	}
+	if sum != 20000 {
+		t.Errorf("folded self times sum to %dµs, want the 20000µs wall clock", sum)
+	}
+}
+
+// TestWriteFoldedFixture sanity-checks the real fixture round trip: every
+// line parses and the root frame leads each stack.
+func TestWriteFoldedFixture(t *testing.T) {
+	r := loadFixture(t, "base")
+	var buf bytes.Buffer
+	if err := NewProfile(r.Trace).WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) == 0 || buf.Len() == 0 {
+		t.Fatal("fixture folded output empty")
+	}
+	for _, line := range lines {
+		stack, val, ok := strings.Cut(line, " ")
+		if !ok || !strings.HasPrefix(stack, "experiments") {
+			t.Fatalf("bad folded line %q", line)
+		}
+		if _, err := strconv.ParseInt(val, 10, 64); err != nil {
+			t.Fatalf("value of %q: %v", line, err)
+		}
 	}
 }

@@ -19,6 +19,10 @@
 #      must render, the identical-run diff must exit 0, and the
 #      seeded-drift fixture must exit 1, so the accuracy gate itself is
 #      gated the same way.
+#   8. loadgen smoke test: a short in-process load run must produce a run
+#      dir whose histograms.json `report latency` renders with exit 0; the
+#      committed seeded-regression fixture must make the latency gate exit
+#      1, and the identical-run latency diff must exit 0.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -66,6 +70,17 @@ go run ./cmd/report tables internal/report/testdata/base >/dev/null
 go run ./cmd/report diff -q internal/report/testdata/base internal/report/testdata/base >/dev/null
 if go run ./cmd/report diff -q internal/report/testdata/base internal/report/testdata/drift >/dev/null 2>&1; then
     echo "verify: report diff failed to flag the seeded-drift fixture" >&2
+    exit 1
+fi
+
+echo "verify: loadgen smoke" >&2
+loadgen_dir="$(mktemp -d)"
+trap 'rm -rf "$loadgen_dir"' EXIT
+go run ./cmd/loadgen -duration 200ms -scale 0.02 -out "$loadgen_dir/run" >/dev/null
+go run ./cmd/report latency "$loadgen_dir/run" >/dev/null
+go run ./cmd/report latency internal/report/testdata/latency_base internal/report/testdata/latency_base >/dev/null
+if go run ./cmd/report latency internal/report/testdata/latency_base internal/report/testdata/latency_regress >/dev/null 2>&1; then
+    echo "verify: report latency failed to flag the seeded-regression fixture" >&2
     exit 1
 fi
 
