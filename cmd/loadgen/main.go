@@ -1,17 +1,19 @@
 // Command loadgen measures the advisor hot path at service speed: it drives
-// join-avoidance decisions (or full hamlet.Analyze pipelines) in-process at
-// configurable concurrency, duration, and target rate over a dataset
-// registry with cached per-table sufficient statistics, and records
-// per-request latency into log-linear obs histograms. It is the measurement
-// harness the planned cmd/advisord HTTP service will be benchmarked with:
-// the ROADMAP's sub-millisecond-p99 claim has to be demonstrable before the
-// transport exists.
+// join-avoidance decisions (or full hamlet.Analyze pipelines) at
+// configurable concurrency, duration, and target rate, and records
+// per-request latency into log-linear obs histograms. It has two
+// transports: in-process (the service floor — decisions straight off the
+// statistics registry) and HTTP (-url, the same request stream POSTed to a
+// running cmd/advisord), so one harness measures the transport overhead
+// against the floor it already established.
 //
 // Usage:
 //
 //	loadgen -duration 2s -workers 8                  # Walmart decisions, unthrottled
 //	loadgen -dataset all -rate 10000 -duration 10s   # 10k req/s across every mimic
 //	loadgen -mode analyze -duration 30s              # full Analyze pipeline per request
+//	loadgen -url http://127.0.0.1:8080 -duration 5s  # drive a running advisord
+//	loadgen -url ... -batch 100                      # 100 decisions per round trip
 //	loadgen -duration 2s -workers 8 -out runs/lg     # persist run artifacts, including
 //	                                                 # histograms.json for `report latency`
 //	loadgen -duration 2s -precision 9 -progress      # finer quantile error, live ETA
@@ -22,13 +24,22 @@
 // bucket scheme's relative error bound of 2^-precision (0.79% at the
 // default 7). `report latency <rundir>` renders them; `report latency base
 // new` gates p99 regressions between two runs.
+//
+// In HTTP mode only successful (2xx) round trips land in the latency
+// histograms; non-2xx answers and transport failures are counted
+// separately and reported in the summary, the loadgen_summary event, and
+// the loadgen.errors_* counters in metrics.json. In-process request errors
+// stay fatal — they mean the harness itself is broken.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -37,6 +48,7 @@ import (
 	"hamlet/internal/obs"
 	"hamlet/internal/pool"
 	"hamlet/internal/registry"
+	"hamlet/internal/server"
 )
 
 // Histogram names persisted to histograms.json. The run-level merge is
@@ -60,6 +72,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rule      = fs.String("rule", "TR", "decision rule: TR or ROR")
 		mode      = fs.String("mode", "decide", "request body: decide (advisor rules over cached stats) or analyze (full JoinAll-vs-JoinOpt pipeline)")
 		method    = fs.String("method", "forward", "feature selection method for -mode analyze")
+		url       = fs.String("url", "", "base URL of a running advisord (e.g. http://127.0.0.1:8080); empty = in-process")
+		reqBatch  = fs.Int("batch", 1, "decisions per HTTP request in -url mode")
+		ready     = fs.Duration("ready", 5*time.Second, "how long to wait for the server's /readyz in -url mode (0 = don't wait)")
 		duration  = fs.Duration("duration", 2*time.Second, "how long to drive load")
 		workers   = fs.Int("workers", 0, "concurrent request workers (0 = GOMAXPROCS)")
 		rate      = fs.Float64("rate", 0, "target total requests/sec (0 = unthrottled)")
@@ -74,6 +89,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *duration <= 0 {
 		fmt.Fprintln(stderr, "loadgen: -duration must be positive")
+		return 2
+	}
+	if *url != "" && *mode != "decide" {
+		fmt.Fprintln(stderr, "loadgen: -url supports only -mode decide (the HTTP service has no analyze endpoint)")
+		return 2
+	}
+	if *reqBatch < 1 {
+		fmt.Fprintln(stderr, "loadgen: -batch must be at least 1")
 		return 2
 	}
 
@@ -127,26 +150,73 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	root := obs.StartSpan("loadgen")
 
-	// Warm the registry before the clock starts: generation and the
-	// sufficient-statistics scan are setup cost, not request latency.
-	setup := root.Child("setup(registry)")
+	nWorkers := pool.Workers(*workers)
+
+	// Warm the transport before the clock starts. In-process runs pay
+	// generation and the sufficient-statistics scan here; HTTP runs wait
+	// for the server's readiness, pre-marshal one request body per dataset,
+	// and send one probe each so the server's cold path (its own registry
+	// fill) is setup cost too, not request latency.
+	setup := root.Child("setup(transport)")
 	names := []string{*name}
 	if *name == "all" {
 		names = registry.Names()
 	}
-	reg := registry.New()
-	entries := make([]*registry.Entry, len(names))
-	for i, n := range names {
-		if entries[i], err = reg.Get(n, *scale, *seed); err != nil {
-			setup.End()
-			fmt.Fprintf(stderr, "loadgen: %v\n", err)
-			_ = runDir.Close(root, err)
-			return 1
+	var (
+		entries   []*registry.Entry
+		bodies    [][]byte
+		client    *http.Client
+		decideURL string
+	)
+	if *url == "" {
+		reg := registry.New()
+		entries = make([]*registry.Entry, len(names))
+		for i, n := range names {
+			if entries[i], err = reg.Get(n, *scale, *seed); err != nil {
+				setup.End()
+				fmt.Fprintf(stderr, "loadgen: %v\n", err)
+				_ = runDir.Close(root, err)
+				return 1
+			}
+		}
+	} else {
+		base := strings.TrimRight(*url, "/")
+		decideURL = base + "/v1/decide"
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        nWorkers + 2,
+			MaxIdleConnsPerHost: nWorkers + 2, // every worker keeps its connection
+		}}
+		if *ready > 0 {
+			waitReady(client, base+"/readyz", *ready, stderr)
+		}
+		bodies = make([][]byte, len(names))
+		for i, n := range names {
+			qs := make([]server.Query, *reqBatch)
+			for j := range qs {
+				qs[j] = server.Query{Dataset: n, Scale: *scale, Seed: *seed, Rule: strings.ToUpper(*rule)}
+			}
+			if bodies[i], err = json.Marshal(server.DecideRequest{V: server.RequestSchemaVersion, Requests: qs}); err != nil {
+				setup.End()
+				fmt.Fprintf(stderr, "loadgen: %v\n", err)
+				_ = runDir.Close(root, err)
+				return 1
+			}
+			status, perr := httpDecide(client, decideURL, bodies[i])
+			if perr != nil {
+				// No transport at all is a harness failure, not a measurement.
+				setup.End()
+				fmt.Fprintf(stderr, "loadgen: warmup probe for %s: %v\n", n, perr)
+				_ = runDir.Close(root, perr)
+				return 1
+			}
+			if status < 200 || status >= 300 {
+				// A reachable server answering non-2xx is measurable: warn and
+				// let the run count the errors (and fail if nothing succeeds).
+				fmt.Fprintf(stderr, "loadgen: warmup probe for %s: HTTP %d\n", n, status)
+			}
 		}
 	}
 	setup.End()
-
-	nWorkers := pool.Workers(*workers)
 	var prog *obs.Progress // nil no-ops through every method
 	if *progress {
 		prog = obs.NewProgress(stderr, "loadgen", time.Second)
@@ -158,13 +228,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// One histogram shard per (worker, dataset): the measurement itself must
 	// not serialize the workers it measures. Shards merge after the run.
+	// HTTP error counts shard the same way.
 	shards := make([][]*obs.Histogram, nWorkers)
 	for w := range shards {
-		shards[w] = make([]*obs.Histogram, len(entries))
+		shards[w] = make([]*obs.Histogram, len(names))
 		for d := range shards[w] {
 			shards[w][d] = obs.NewHistogram(*precision)
 		}
 	}
+	type errCount struct{ non2xx, transport int64 }
+	errShards := make([]errCount, nWorkers)
 
 	// Per-worker pacing interval for a global -rate target; worker start
 	// offsets stagger so the aggregate stream is evenly spaced.
@@ -200,18 +273,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 					next = now // cap pacing debt after a stall; don't burst unbounded
 				}
 			}
-			d := i % len(entries)
-			e := entries[d]
-			var err error
+			d := i % len(names)
 			start := time.Now()
-			if *mode == "decide" {
-				_, err = e.Decide(adv)
+			if client != nil {
+				// HTTP errors are measurements, not harness failures: count
+				// them and keep driving. Only 2xx round trips enter the
+				// latency histogram — an error's timing measures the failure
+				// path, not the service.
+				status, herr := httpDecide(client, decideURL, bodies[d])
+				switch {
+				case herr != nil:
+					errShards[w].transport++
+				case status < 200 || status >= 300:
+					errShards[w].non2xx++
+				default:
+					shards[w][d].Observe(time.Since(start).Nanoseconds())
+				}
 			} else {
-				_, err = hamlet.Analyze(e.Dataset, sel, adv, *seed)
-			}
-			shards[w][d].Observe(time.Since(start).Nanoseconds())
-			if err != nil {
-				return fmt.Errorf("loadgen: %s request on %s: %w", *mode, e.Dataset.Name, err)
+				e := entries[d]
+				var err error
+				if *mode == "decide" {
+					_, err = e.Decide(adv)
+				} else {
+					_, err = hamlet.Analyze(e.Dataset, sel, adv, *seed)
+				}
+				shards[w][d].Observe(time.Since(start).Nanoseconds())
+				if err != nil {
+					return fmt.Errorf("loadgen: %s request on %s: %w", *mode, e.Dataset.Name, err)
+				}
 			}
 			if pending++; pending == batch {
 				prog.Step(pending)
@@ -234,7 +323,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// across datasets into the run-level histogram.
 	var total obs.HistogramSnapshot
 	hists := make(map[string]obs.HistogramSnapshot)
-	for d, e := range entries {
+	for d, n := range names {
 		var per obs.HistogramSnapshot
 		for w := range shards {
 			if err := per.Merge(shards[w][d].Snapshot()); err != nil {
@@ -242,14 +331,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
-		if len(entries) > 1 {
-			hists[latencyHist+"."+e.Dataset.Name] = per
+		if len(names) > 1 {
+			hists[latencyHist+"."+n] = per
 		}
 		if err := total.Merge(per); err != nil {
 			fmt.Fprintf(stderr, "loadgen: %v\n", err)
 			return 1
 		}
 	}
+	var non2xx, transport int64
+	for _, ec := range errShards {
+		non2xx += ec.non2xx
+		transport += ec.transport
+	}
+	nErrors := non2xx + transport
 	if total.Count == 0 {
 		// Merge skips empty shards, so adopt the precision explicitly: even a
 		// zero-request run writes a well-formed artifact.
@@ -263,14 +358,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *rate > 0 {
 		fmt.Fprintf(stdout, ", target %.0f req/s", *rate)
 	}
+	if *url != "" {
+		fmt.Fprintf(stdout, ", url %s, batch %d", *url, *reqBatch)
+	}
 	fmt.Fprintln(stdout)
 	fmt.Fprintf(stdout, "requests: %d in %v (%.1f req/s)\n", total.Count, elapsed.Round(time.Millisecond), rps)
+	if *url != "" {
+		fmt.Fprintf(stdout, "errors:   %d (%d non-2xx, %d transport)\n", nErrors, non2xx, transport)
+	}
 	fmt.Fprintf(stdout, "latency:  p50 %v  p90 %v  p99 %v  p99.9 %v  (min %v  mean %v  max %v)\n",
 		ns(total.Quantile(0.50)), ns(total.Quantile(0.90)), ns(total.Quantile(0.99)), ns(total.Quantile(0.999)),
 		ns(total.Min), ns(int64(total.Mean())), ns(total.Max))
 	fmt.Fprintf(stdout, "precision: %d sub-bucket bits (quantile error ≤ %.2f%%)\n", total.Precision, 100*total.MaxQuantileError())
 
-	runDir.Events().Emit("loadgen_summary",
+	attrs := []slog.Attr{
 		slog.String("mode", *mode),
 		slog.Int("workers", nWorkers),
 		slog.Int64("requests", total.Count),
@@ -278,12 +379,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		slog.Int64("p50_ns", total.Quantile(0.50)),
 		slog.Int64("p99_ns", total.Quantile(0.99)),
 		slog.Int64("p999_ns", total.Quantile(0.999)),
-	)
+	}
+	if *url != "" {
+		attrs = append(attrs,
+			slog.String("url", *url),
+			slog.Int("batch", *reqBatch),
+			slog.Int64("errors_non2xx", non2xx),
+			slog.Int64("errors_transport", transport),
+		)
+		obs.C("loadgen.errors_non2xx").Add(non2xx)
+		obs.C("loadgen.errors_transport").Add(transport)
+	}
+	runDir.Events().Emit("loadgen_summary", attrs...)
 	if err := runDir.WriteHistograms(hists); err != nil {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)
 		return 1
 	}
 	root.End()
+	if total.Count == 0 && nErrors > 0 {
+		err := fmt.Errorf("all %d requests failed (%d non-2xx, %d transport)", nErrors, non2xx, transport)
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		_ = runDir.Close(root, err)
+		return 1
+	}
 	if err := runDir.Close(root, nil); err != nil {
 		fmt.Fprintf(stderr, "loadgen: run artifacts: %v\n", err)
 		return 1
@@ -293,3 +411,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // ns renders a nanosecond latency as a duration string.
 func ns(v int64) time.Duration { return time.Duration(v) }
+
+// httpDecide POSTs one pre-marshaled decide request and fully drains the
+// response body so the connection returns to the client's pool. A non-nil
+// error is a transport failure; otherwise the status code is the verdict.
+func httpDecide(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// waitReady polls the server's readiness endpoint until it answers 200 or
+// the wait elapses. A timeout only warns: the run proceeds and measures
+// whatever the server does, which is the honest answer for a server that
+// never becomes ready.
+func waitReady(client *http.Client, url string, wait time.Duration, stderr io.Writer) {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(url)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if !time.Now().Before(deadline) {
+			fmt.Fprintf(stderr, "loadgen: %s not ready after %v; proceeding anyway\n", url, wait)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

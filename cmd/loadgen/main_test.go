@@ -3,12 +3,15 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"hamlet/internal/obs"
+	"hamlet/internal/server"
 )
 
 // drive runs the CLI in-process.
@@ -102,12 +105,106 @@ func TestRunAllDatasetsRecordsPerDatasetHistograms(t *testing.T) {
 	}
 }
 
+// TestRunHTTPModeDrivesServer points -url at an in-process internal/server
+// and checks the full HTTP leg: readiness wait, batched requests, a clean
+// error line, and the same histograms.json shape as an in-process run.
+func TestRunHTTPModeDrivesServer(t *testing.T) {
+	s := server.New(server.Config{Scale: 0.02, Seed: 1})
+	if err := s.Preload("Walmart"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	dir := filepath.Join(t.TempDir(), "run")
+	code, out, errOut := drive(t,
+		"-url", ts.URL, "-batch", "3", "-duration", "100ms", "-workers", "2",
+		"-scale", "0.02", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	for _, want := range []string{"url " + ts.URL, "batch 3", "errors:   0 (0 non-2xx, 0 transport)", "latency:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, obs.HistogramsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art obs.HistogramsArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := art.Histograms["request_latency_ns"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("run-level histogram = %+v (ok=%v), want nonzero count", h, ok)
+	}
+	// The server saw the traffic: its own decide histogram must cover at
+	// least the round trips the client measured (plus the warmup probe).
+	srvHists := s.Histograms()
+	if sh := srvHists[server.LatencyHist+".decide"]; sh.Count < h.Count {
+		t.Errorf("server decide count = %d, client measured %d", sh.Count, h.Count)
+	}
+	events, err := os.ReadFile(filepath.Join(dir, obs.EventsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"url":"` + ts.URL + `"`, `"batch":3`, `"errors_non2xx":0`, `"errors_transport":0`} {
+		if !bytes.Contains(events, []byte(want)) {
+			t.Errorf("events.jsonl missing %s", want)
+		}
+	}
+}
+
+// TestRunHTTPModeAllErrorsFails drives a server that always answers 500:
+// the run must finish, report the error counts, and exit 1 because nothing
+// succeeded.
+func TestRunHTTPModeAllErrorsFails(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	code, out, errOut := drive(t,
+		"-url", ts.URL, "-ready", "0", "-duration", "50ms", "-workers", "2", "-scale", "0.02")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "all") || !strings.Contains(errOut, "failed") {
+		t.Errorf("stderr does not report total failure:\n%s", errOut)
+	}
+	if !strings.Contains(out, "errors:") || strings.Contains(out, "errors:   0 (") {
+		t.Errorf("summary does not carry nonzero error counts:\n%s", out)
+	}
+}
+
+// TestRunHTTPModeUnreachableServerFails: no listener at all is a harness
+// failure caught by the warmup probe, before any load is driven.
+func TestRunHTTPModeUnreachableServerFails(t *testing.T) {
+	// Grab a port that is then closed again, so nothing listens on it.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	deadURL := ts.URL
+	ts.Close()
+
+	code, _, errOut := drive(t,
+		"-url", deadURL, "-ready", "0", "-duration", "50ms", "-scale", "0.02")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "warmup probe") {
+		t.Errorf("stderr does not mention the warmup probe:\n%s", errOut)
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{"-duration", "0s"},
 		{"-rule", "nope"},
 		{"-mode", "nope"},
 		{"-mode", "analyze", "-method", "nope"},
+		{"-url", "http://localhost:1", "-mode", "analyze"},
+		{"-url", "http://localhost:1", "-batch", "0"},
 		{"-not-a-flag"},
 	}
 	for _, args := range cases {

@@ -112,6 +112,20 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// SetHistogram registers h under name, replacing any previous histogram of
+// that name. It is the bridge for subsystems that must build histograms at a
+// caller-chosen precision (e.g. internal/server's per-endpoint request
+// latency) but still want them on the registry's surfaces — expvar's
+// /debug/vars and the metrics.json artifact. A nil histogram is ignored.
+func (r *Registry) SetHistogram(name string, h *Histogram) {
+	if h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.histograms[name] = h
+}
+
 // Snapshot renders every metric into a JSON-marshalable map: counters and
 // gauges as numbers, histograms as HistogramSnapshot.
 func (r *Registry) Snapshot() map[string]any {

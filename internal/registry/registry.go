@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hamlet/internal/core"
 	"hamlet/internal/dataset"
@@ -31,6 +32,20 @@ type Entry struct {
 // Decide answers one advisor request from the cached statistics.
 func (e *Entry) Decide(adv *core.Advisor) ([]core.Decision, error) {
 	return adv.DecideFromStats(e.Stats)
+}
+
+// Key identifies one cached dataset: the (name, scale, seed) tuple Get
+// resolves. It is the public face of the registry's internal map key, so
+// consumers (the advisord /v1/datasets endpoint, tests) can enumerate what
+// is loaded without reaching into internals.
+type Key struct {
+	// Name is the mimic name ("Walmart", ...; Add-ed datasets keep their
+	// own name with zero Scale and Seed).
+	Name string
+	// Scale is the generation scale in (0, 1].
+	Scale float64
+	// Seed is the generation seed.
+	Seed uint64
 }
 
 type key struct {
@@ -54,6 +69,9 @@ type entrySlot struct {
 	once  sync.Once
 	entry *Entry
 	err   error
+	// done flips true after once resolves entry/err; Len and Keys read it
+	// (atomically) so enumeration never blocks behind an in-flight build.
+	done atomic.Bool
 }
 
 // New returns an empty registry.
@@ -84,8 +102,41 @@ func (r *Registry) Get(name string, scale float64, seed uint64) (*Entry, error) 
 		r.entries[k] = slot
 	}
 	r.mu.Unlock()
-	slot.once.Do(func() { slot.entry, slot.err = build(name, scale, seed) })
+	slot.once.Do(func() {
+		slot.entry, slot.err = build(name, scale, seed)
+		slot.done.Store(true)
+	})
 	return slot.entry, slot.err
+}
+
+// Len reports how many datasets are resolved in the registry: entries whose
+// generation and statistics scan completed successfully. In-flight builds
+// and failed Gets do not count. The registry never evicts, so Len is
+// monotone over a server's lifetime.
+func (r *Registry) Len() int { return len(r.Keys()) }
+
+// Keys enumerates the resolved datasets as (name, scale, seed) keys, sorted
+// by name, then scale, then seed. Like Len it skips in-flight and failed
+// slots, and never blocks behind a build in progress.
+func (r *Registry) Keys() []Key {
+	r.mu.Lock()
+	keys := make([]Key, 0, len(r.entries))
+	for k, slot := range r.entries {
+		if slot.done.Load() && slot.err == nil {
+			keys = append(keys, Key{Name: k.name, Scale: k.scale, Seed: k.seed})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		if keys[i].Scale != keys[j].Scale {
+			return keys[i].Scale < keys[j].Scale
+		}
+		return keys[i].Seed < keys[j].Seed
+	})
+	return keys
 }
 
 // Add caches a caller-supplied dataset (e.g. one loaded from a schema spec)
@@ -99,6 +150,7 @@ func (r *Registry) Add(d *dataset.Dataset) (*Entry, error) {
 	e := &Entry{Dataset: d, Stats: stats}
 	slot := &entrySlot{entry: e}
 	slot.once.Do(func() {}) // mark resolved
+	slot.done.Store(true)
 	r.mu.Lock()
 	r.entries[key{name: d.Name}] = slot
 	r.mu.Unlock()

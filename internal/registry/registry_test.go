@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"hamlet/internal/core"
 )
@@ -83,6 +84,78 @@ func TestEntryDecideMatchesFreshAdvisor(t *testing.T) {
 	}
 }
 
+// TestLenAndKeysEnumerateResolvedEntries covers the enumeration surface the
+// advisord /v1/datasets endpoint serves: only successful builds count, failed
+// Gets are invisible, and Keys is deterministically sorted.
+func TestLenAndKeysEnumerateResolvedEntries(t *testing.T) {
+	r := New()
+	if r.Len() != 0 || len(r.Keys()) != 0 {
+		t.Fatalf("fresh registry: Len = %d, Keys = %v, want empty", r.Len(), r.Keys())
+	}
+	for _, k := range []Key{
+		{Name: "Yelp", Scale: 0.02, Seed: 1},
+		{Name: "Walmart", Scale: 0.05, Seed: 2},
+		{Name: "Walmart", Scale: 0.02, Seed: 1},
+		{Name: "Walmart", Scale: 0.02, Seed: 2},
+	} {
+		if _, err := r.Get(k.Name, k.Scale, k.Seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Get("NoSuchDataset", 0.02, 1); err == nil {
+		t.Fatal("unknown dataset did not error")
+	}
+	want := []Key{
+		{Name: "Walmart", Scale: 0.02, Seed: 1},
+		{Name: "Walmart", Scale: 0.02, Seed: 2},
+		{Name: "Walmart", Scale: 0.05, Seed: 2},
+		{Name: "Yelp", Scale: 0.02, Seed: 1},
+	}
+	if got := r.Keys(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys = %v, want %v (failed Get must be invisible, order sorted)", got, want)
+	}
+	if r.Len() != len(want) {
+		t.Errorf("Len = %d, want %d", r.Len(), len(want))
+	}
+}
+
+// TestKeysDoesNotBlockOnInFlightBuild pins the eviction-free contract: an
+// enumeration racing a slow generation returns immediately with only the
+// resolved entries.
+func TestKeysDoesNotBlockOnInFlightBuild(t *testing.T) {
+	r := New()
+	if _, err := r.Get("Walmart", 0.02, 1); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	// Hand-plant an in-flight slot: its once is held open until release, the
+	// way a slow Get holds it during generation.
+	slot := &entrySlot{}
+	r.mu.Lock()
+	r.entries[key{name: "Yelp", scale: 0.02, seed: 1}] = slot
+	r.mu.Unlock()
+	go slot.once.Do(func() {
+		close(started)
+		<-release
+		slot.entry = &Entry{}
+		slot.done.Store(true)
+	})
+	<-started
+
+	done := make(chan []Key, 1)
+	go func() { done <- r.Keys() }()
+	select {
+	case keys := <-done:
+		if len(keys) != 1 || keys[0].Name != "Walmart" {
+			t.Errorf("Keys during in-flight build = %v, want only Walmart", keys)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Keys blocked behind an in-flight build")
+	}
+	close(release)
+}
+
 func TestAddCachesLoadedDataset(t *testing.T) {
 	r := New()
 	base, err := r.Get("Walmart", 0.05, 1)
@@ -95,5 +168,10 @@ func TestAddCachesLoadedDataset(t *testing.T) {
 	}
 	if !reflect.DeepEqual(e.Stats, base.Stats) {
 		t.Error("Add recollected different statistics for the same dataset")
+	}
+	// Add-ed datasets enumerate under their own name with zero scale/seed.
+	want := []Key{{Name: "Walmart"}, {Name: "Walmart", Scale: 0.05, Seed: 1}}
+	if got := r.Keys(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys after Add = %v, want %v", got, want)
 	}
 }

@@ -23,6 +23,9 @@
 #      dir whose histograms.json `report latency` renders with exit 0; the
 #      committed seeded-regression fixture must make the latency gate exit
 #      1, and the identical-run latency diff must exit 0.
+#   9. advisord smoke test: the daemon must come up on an ephemeral port,
+#      answer a loadgen -url round trip, drain cleanly on SIGTERM (exit 0),
+#      and flush a histograms.json that `report latency` renders.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -83,5 +86,33 @@ if go run ./cmd/report latency internal/report/testdata/latency_base internal/re
     echo "verify: report latency failed to flag the seeded-regression fixture" >&2
     exit 1
 fi
+
+echo "verify: advisord smoke" >&2
+go build -o "$loadgen_dir/advisord" ./cmd/advisord
+"$loadgen_dir/advisord" -addr 127.0.0.1:0 -addrfile "$loadgen_dir/addr" \
+    -datasets Walmart -scale 0.02 -out "$loadgen_dir/adv_run" >/dev/null &
+advisord_pid=$!
+i=0
+while [ ! -s "$loadgen_dir/addr" ]; do
+    if ! kill -0 "$advisord_pid" 2>/dev/null; then
+        echo "verify: advisord exited before becoming ready" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "verify: advisord never wrote its addrfile" >&2
+        kill "$advisord_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+go run ./cmd/loadgen -url "http://$(cat "$loadgen_dir/addr")" \
+    -duration 200ms -scale 0.02 >/dev/null
+kill -TERM "$advisord_pid"
+if ! wait "$advisord_pid"; then
+    echo "verify: advisord did not drain cleanly on SIGTERM" >&2
+    exit 1
+fi
+go run ./cmd/report latency "$loadgen_dir/adv_run" >/dev/null
 
 echo "verify: ok" >&2
