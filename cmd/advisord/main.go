@@ -20,6 +20,9 @@
 //	GET  /v1/datasets   the catalog + what is loaded
 //	GET  /healthz       liveness
 //	GET  /readyz        readiness (503 until preload finishes / while draining)
+//	GET  /metrics       Prometheus text exposition: counters, rolling rates,
+//	                    windowed latency quantiles (`report watch` reads this)
+//	GET  /debug/slow    recent slow-request exemplars (requests over -slow)
 //	GET  /debug/vars    live expvar metrics (per-endpoint latency histograms)
 //	GET  /debug/pprof/  runtime profiling
 //
@@ -68,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		precision = fs.Int("precision", obs.DefaultPrecision, "latency histogram sub-bucket bits; quantile error ≤ 2^-precision")
 		drain     = fs.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight requests")
 		outDir    = fs.String("out", "", "write run artifacts (manifest, request-log events, metrics, trace, histograms.json) to this directory")
+		slow      = fs.Duration("slow", 10*time.Millisecond, "slow-request threshold: log + retain exemplars on /debug/slow (0 disables)")
+		window    = fs.Duration("window", obs.DefaultWindow, "rolling-metrics window length for /metrics rates and quantiles")
 		prof      obs.ProfileFlags
 	)
 	prof.Register(fs)
@@ -90,6 +95,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *drain <= 0 {
 		fmt.Fprintln(stderr, "advisord: -drain must be positive")
+		return 2
+	}
+	if *slow < 0 {
+		fmt.Fprintln(stderr, "advisord: -slow must be non-negative (0 disables slow-request capture)")
+		return 2
+	}
+	if *window <= 0 {
+		fmt.Fprintln(stderr, "advisord: -window must be positive")
 		return 2
 	}
 
@@ -117,6 +130,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Rule:      defRule,
 		Precision: *precision,
 		Events:    runDir.Events(),
+		Window:    *window,
+		Slow:      *slow,
+		SlowLog:   stderr,
 	})
 
 	// Preload before listening: the addrfile appearing means the server is
@@ -151,6 +167,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			_ = runDir.Close(root, err)
 			return 1
 		}
+		// The addrfile means "reachable": remove it when this process stops
+		// serving, so a waiting script never reads a dead server's address.
+		defer os.Remove(*addrFile)
 	}
 	fmt.Fprintf(stdout, "advisord: listening on %s (datasets %s, scale %g, seed %d, rule %s)\n",
 		resolved, *datasets, *scale, *seed, strings.ToUpper(*rule))

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -50,6 +51,7 @@ func TestRunServesDrainsAndPersists(t *testing.T) {
 			"-addrfile", addrFile,
 			"-datasets", "Walmart",
 			"-scale", "0.02",
+			"-slow", "1ns", // every request becomes a slow exemplar
 			"-out", outDir,
 		}, &stdout, &stderr)
 	}()
@@ -97,6 +99,35 @@ func TestRunServesDrainsAndPersists(t *testing.T) {
 		t.Fatalf("decide status %d, %d results", resp.StatusCode, len(out.Results))
 	}
 
+	// The live telemetry surfaces answer while the daemon serves.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	for _, want := range []string{"advisord_requests_total", "advisord_request_latency_seconds", "advisord_ready 1"} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	resp, err = http.Get(base + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slow server.SlowResponse
+	err = json.NewDecoder(resp.Body).Decode(&slow)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Total < 1 {
+		t.Errorf("-slow 1ns retained no exemplars: %+v", slow)
+	}
+
 	// The real signal: the daemon must drain and exit 0.
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -113,6 +144,15 @@ func TestRunServesDrainsAndPersists(t *testing.T) {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
 		}
+	}
+	if !strings.Contains(stderr.String(), "slow request id=") {
+		t.Errorf("stderr missing slow-request log line:\n%s", stderr.String())
+	}
+
+	// The addrfile is a liveness signal: a stopped daemon must not leave a
+	// stale address behind for the next script to trust.
+	if _, err := os.Stat(addrFile); !os.IsNotExist(err) {
+		t.Errorf("addrfile still present after clean exit (stat err = %v)", err)
 	}
 
 	// The run dir carries the full artifact set; histograms.json holds the
@@ -157,6 +197,8 @@ func TestRunUsageErrors(t *testing.T) {
 		{"-scale", "0"},
 		{"-scale", "1.5"},
 		{"-drain", "0s"},
+		{"-slow", "-1ms"},
+		{"-window", "0s"},
 		{"-not-a-flag"},
 	}
 	for _, args := range cases {

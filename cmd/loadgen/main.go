@@ -41,6 +41,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -201,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				_ = runDir.Close(root, err)
 				return 1
 			}
-			status, perr := httpDecide(client, decideURL, bodies[i])
+			status, perr := httpDecide(client, decideURL, "loadgen-warmup-"+n, bodies[i])
 			if perr != nil {
 				// No transport at all is a harness failure, not a measurement.
 				setup.End()
@@ -280,7 +281,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				// them and keep driving. Only 2xx round trips enter the
 				// latency histogram — an error's timing measures the failure
 				// path, not the service.
-				status, herr := httpDecide(client, decideURL, bodies[d])
+				status, herr := httpDecide(client, decideURL,
+					"loadgen-"+strconv.Itoa(w)+"-"+strconv.Itoa(i), bodies[d])
 				switch {
 				case herr != nil:
 					errShards[w].transport++
@@ -415,8 +417,17 @@ func ns(v int64) time.Duration { return time.Duration(v) }
 // httpDecide POSTs one pre-marshaled decide request and fully drains the
 // response body so the connection returns to the client's pool. A non-nil
 // error is a transport failure; otherwise the status code is the verdict.
-func httpDecide(client *http.Client, url string, body []byte) (int, error) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+// The id travels as X-Request-ID, so a slow-request exemplar or request-log
+// line on the server names the exact loadgen worker and iteration that sent
+// it (and the server skips minting its own).
+func httpDecide(client *http.Client, url, id string, body []byte) (int, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.RequestIDHeader, id)
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err
 	}

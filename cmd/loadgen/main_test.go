@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"hamlet/internal/obs"
@@ -154,6 +155,44 @@ func TestRunHTTPModeDrivesServer(t *testing.T) {
 		if !bytes.Contains(events, []byte(want)) {
 			t.Errorf("events.jsonl missing %s", want)
 		}
+	}
+}
+
+// TestRunHTTPModeSendsRequestIDs: every loadgen request — warmup probe and
+// driven load alike — names itself with an X-Request-ID, so server-side
+// slow-request exemplars and request logs attribute back to the exact
+// worker and iteration that sent them.
+func TestRunHTTPModeSendsRequestIDs(t *testing.T) {
+	var mu sync.Mutex
+	ids := make(map[string]bool)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ids[r.Header.Get(server.RequestIDHeader)] = true
+		mu.Unlock()
+	}))
+	defer ts.Close()
+
+	code, _, errOut := drive(t,
+		"-url", ts.URL, "-ready", "0", "-duration", "50ms", "-workers", "2", "-scale", "0.02")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr:\n%s", code, errOut)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !ids["loadgen-warmup-Walmart"] {
+		t.Error("warmup probe carried no request ID")
+	}
+	var driven int
+	for id := range ids {
+		if id == "" {
+			t.Fatal("a request arrived without X-Request-ID")
+		}
+		if strings.HasPrefix(id, "loadgen-") && !strings.HasPrefix(id, "loadgen-warmup-") {
+			driven++
+		}
+	}
+	if driven == 0 {
+		t.Errorf("no driven request carried a worker/iteration ID: %v", ids)
 	}
 }
 

@@ -20,9 +20,13 @@
 //	                                          # flamegraph.pl / speedscope
 //	report latency <rundir>                   # quantile tables from a
 //	                                          # loadgen run's histograms.json
+//	report latency -format csv <rundir>       # ...as csv or json rows
 //	report latency <base-rundir> <new-rundir> # latdiff: gate on a quantile
 //	                                          # regression between two runs
 //	report latency -quantile 0.999 -tol 0.25 base new
+//	report watch http://127.0.0.1:8080        # live rate/p50/p99 view from a
+//	                                          # running advisord's /metrics
+//	report watch -count 30 -p99-budget 5ms http://...  # served-latency gate
 //
 // `report diff` and `report latency base new` mirror cmd/benchdiff's
 // exit-status convention (see internal/exitcode): 0 when the runs agree
@@ -51,6 +55,7 @@ import (
 	iofs "io/fs"
 	"math"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -78,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runTrace(args[1:], stdout, stderr)
 	case "latency":
 		return runLatency(args[1:], stdout, stderr)
+	case "watch":
+		return runWatch(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stderr)
 		return exitcode.OK
@@ -100,8 +107,14 @@ subcommands:
                             hot path, counter rollups, worker utilization
                             (-folded emits flamegraph.pl/speedscope stacks)
   latency <rundir>          quantile tables from a loadgen run's histograms
+                            (-format text|csv|json)
   latency <base> <new>      gate a latency quantile between two loadgen runs
                             (-quantile Q -tol T; exit codes as diff)
+  watch   <url|rundir>      live rate/p50/p99 view polled from an advisord
+                            /metrics endpoint or a run directory
+                            (-interval D -count N -p99-budget D -k K;
+                            exit 1 when the budget breaches K consecutive
+                            polls, 3 when every poll fails)
 `)
 }
 
@@ -316,8 +329,13 @@ func runLatency(args []string, stdout, stderr io.Writer) int {
 	opt := report.DefaultLatencyDiffOptions
 	fs.Float64Var(&opt.Quantile, "quantile", opt.Quantile, "quantile the two-run gate compares (0.99 = p99)")
 	fs.Float64Var(&opt.Tol, "tol", opt.Tol, "relative regression tolerance on the gated quantile (0.10 = +10%); the histograms' bucket error is added on top")
+	format := fs.String("format", "text", "single-run output format: text, csv, or json")
 	if err := fs.Parse(args); err != nil || fs.NArg() < 1 || fs.NArg() > 2 {
-		fmt.Fprintln(stderr, "usage: report latency [-quantile Q] [-tol T] <rundir> [<new-rundir>]")
+		fmt.Fprintln(stderr, "usage: report latency [-quantile Q] [-tol T] [-format text|csv|json] <rundir> [<new-rundir>]")
+		return exitcode.Usage
+	}
+	if fs.NArg() == 2 && *format != "text" {
+		fmt.Fprintln(stderr, "report: -format applies to the single-run table, not the two-run gate")
 		return exitcode.Usage
 	}
 	base, code := loadRun(fs.Arg(0), stderr)
@@ -326,7 +344,19 @@ func runLatency(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if fs.NArg() == 1 {
-		if err := base.WriteLatency(stdout); err != nil {
+		var err error
+		switch *format {
+		case "text":
+			err = base.WriteLatency(stdout)
+		case "csv":
+			err = base.WriteLatencyCSV(stdout)
+		case "json":
+			err = base.WriteLatencyJSON(stdout)
+		default:
+			fmt.Fprintf(stderr, "report: unknown -format %q (want text, csv, or json)\n", *format)
+			return exitcode.Usage
+		}
+		if err != nil {
 			fmt.Fprintf(stderr, "report: %v\n", err)
 			return exitcode.Vacuous
 		}
@@ -371,3 +401,50 @@ func runLatency(args []string, stdout, stderr io.Writer) int {
 
 // ns renders a nanosecond latency as a duration string.
 func ns(v int64) time.Duration { return time.Duration(v) }
+
+// runWatch polls a live /metrics endpoint (http[s]:// target) or a run
+// directory and renders the rolling rate/quantile view; with -p99-budget it
+// gates on served tail latency.
+func runWatch(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report watch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	interval := fs.Duration("interval", time.Second, "poll period")
+	count := fs.Int("count", 0, "number of polls (0 = watch until interrupted, or until the budget breaches)")
+	budget := fs.Duration("p99-budget", 0, "fail when the served p99 exceeds this for -k consecutive polls (0 = no gate)")
+	k := fs.Int("k", report.DefaultBreachPolls, "consecutive over-budget polls that trip the gate")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: report watch [-interval D] [-count N] [-p99-budget D] [-k K] <url|rundir>")
+		return exitcode.Usage
+	}
+	if *k <= 0 {
+		fmt.Fprintln(stderr, "report: -k must be positive")
+		return exitcode.Usage
+	}
+	target := fs.Arg(0)
+	var src report.WatchSource
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		url := target
+		if !strings.Contains(url, "/metrics") {
+			url = strings.TrimRight(url, "/") + "/metrics"
+		}
+		src = report.MetricsSource(nil, url)
+	} else {
+		src = report.RunDirSource(target)
+	}
+	res := report.Watch(stdout, src, report.WatchOptions{
+		Target:      target,
+		Interval:    *interval,
+		Polls:       *count,
+		P99Budget:   *budget,
+		BreachPolls: *k,
+	})
+	switch {
+	case res.Breached:
+		return exitcode.Failed
+	case res.Failures == res.Polls:
+		// Nothing answered: there is no evidence either way.
+		return exitcode.Vacuous
+	default:
+		return exitcode.OK
+	}
+}

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -167,6 +170,89 @@ func TestTablesFormats(t *testing.T) {
 	}
 	if code, _, _ := drive(t, "tables", "-format", "yaml", fixture(t, "base")); code != exitcode.Usage {
 		t.Errorf("unknown format: exit %d, want %d", code, exitcode.Usage)
+	}
+}
+
+func TestLatencyFormats(t *testing.T) {
+	code, out, errOut := drive(t, "latency", "-format", "csv", fixture(t, "latency_base"))
+	if code != exitcode.OK || !strings.HasPrefix(out, "histogram,count,min_ns,p50_ns,p90_ns,p99_ns,p999_ns,max_ns,mean_ns,precision\n") {
+		t.Errorf("csv: exit %d, stderr %s, out:\n%.200s", code, errOut, out)
+	}
+	code, out, errOut = drive(t, "latency", "-format", "json", fixture(t, "latency_base"))
+	if code != exitcode.OK || !strings.HasPrefix(out, "[") || !strings.Contains(out, `"p99_ns"`) {
+		t.Errorf("json: exit %d, stderr %s, out:\n%.200s", code, errOut, out)
+	}
+	if code, _, _ = drive(t, "latency", "-format", "yaml", fixture(t, "latency_base")); code != exitcode.Usage {
+		t.Errorf("unknown format: exit %d, want %d", code, exitcode.Usage)
+	}
+	// -format is a single-run rendering concern; the two-run gate refuses it.
+	if code, _, _ = drive(t, "latency", "-format", "csv", fixture(t, "latency_base"), fixture(t, "latency_regress")); code != exitcode.Usage {
+		t.Errorf("two-run -format: exit %d, want %d", code, exitcode.Usage)
+	}
+}
+
+func TestWatchRunDir(t *testing.T) {
+	code, out, errOut := drive(t, "watch", "-count", "2", "-interval", "0s", fixture(t, "latency_base"))
+	if code != exitcode.OK {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"watch ", "p99", "100000", "watched 2 polls"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchBudgetGate(t *testing.T) {
+	// The fixture's p99 is microseconds; a 1ns budget must breach, a 1h
+	// budget must pass.
+	code, out, _ := drive(t, "watch", "-count", "5", "-interval", "0s", "-p99-budget", "1ns", "-k", "2", fixture(t, "latency_base"))
+	if code != exitcode.Failed {
+		t.Errorf("breach exit = %d, want %d\n%s", code, exitcode.Failed, out)
+	}
+	if !strings.Contains(out, "OVER BUDGET") {
+		t.Errorf("breach output:\n%s", out)
+	}
+	code, _, _ = drive(t, "watch", "-count", "1", "-interval", "0s", "-p99-budget", "1h", fixture(t, "latency_base"))
+	if code != exitcode.OK {
+		t.Errorf("generous budget exit = %d, want %d", code, exitcode.OK)
+	}
+}
+
+// TestWatchHTTPTarget: an http:// target is polled as a /metrics endpoint
+// (the path is appended when absent).
+func TestWatchHTTPTarget(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "advisord_requests_total 7\nadvisord_request_latency_seconds{quantile=\"0.99\"} 0.000001\n")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	code, out, errOut := drive(t, "watch", "-count", "1", "-interval", "0s", ts.URL)
+	if code != exitcode.OK {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "7") || !strings.Contains(out, "1µs") {
+		t.Errorf("watch output:\n%s", out)
+	}
+}
+
+func TestWatchMissingTargetVacuous(t *testing.T) {
+	code, _, _ := drive(t, "watch", "-count", "2", "-interval", "0s", fixture(t, "missing"))
+	if code != exitcode.Vacuous {
+		t.Errorf("all-polls-failed exit = %d, want %d", code, exitcode.Vacuous)
+	}
+}
+
+func TestWatchUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"watch"},
+		{"watch", "-k", "0", "x"},
+		{"watch", "-not-a-flag", "x"},
+	} {
+		if code, _, _ := drive(t, args...); code != exitcode.Usage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitcode.Usage)
+		}
 	}
 }
 

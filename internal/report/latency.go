@@ -1,9 +1,12 @@
 package report
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"text/tabwriter"
 	"time"
 
@@ -83,6 +86,90 @@ func (r *Run) WriteLatency(w io.Writer) error {
 
 // ns renders a nanosecond value as a duration string.
 func ns(v int64) time.Duration { return time.Duration(v) }
+
+// LatencyRow is one histogram's quantile summary in machine-readable form —
+// the row WriteLatency renders, with raw nanoseconds instead of duration
+// strings so downstream tooling needs no duration parser.
+type LatencyRow struct {
+	Histogram string `json:"histogram"`
+	Count     int64  `json:"count"`
+	MinNS     int64  `json:"min_ns"`
+	P50NS     int64  `json:"p50_ns"`
+	P90NS     int64  `json:"p90_ns"`
+	P99NS     int64  `json:"p99_ns"`
+	P999NS    int64  `json:"p999_ns"`
+	MaxNS     int64  `json:"max_ns"`
+	MeanNS    int64  `json:"mean_ns"`
+	Precision int    `json:"precision"`
+}
+
+// LatencyRows flattens the run's histograms into sorted rows. Errors when
+// the run carries none, matching WriteLatency.
+func (r *Run) LatencyRows() ([]LatencyRow, error) {
+	names := r.LatencyNames()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("report: %s has no %s to render (only loadgen runs write latency histograms)", r.Dir, obs.HistogramsFile)
+	}
+	rows := make([]LatencyRow, len(names))
+	for i, name := range names {
+		h := r.Histograms[name]
+		rows[i] = LatencyRow{
+			Histogram: name,
+			Count:     h.Count,
+			MinNS:     h.Min,
+			P50NS:     h.Quantile(0.50),
+			P90NS:     h.Quantile(0.90),
+			P99NS:     h.Quantile(0.99),
+			P999NS:    h.Quantile(0.999),
+			MaxNS:     h.Max,
+			MeanNS:    int64(h.Mean()),
+			Precision: h.Precision,
+		}
+	}
+	return rows, nil
+}
+
+// WriteLatencyCSV renders the latency rows as one CSV record per histogram.
+func (r *Run) WriteLatencyCSV(w io.Writer) error {
+	rows, err := r.LatencyRows()
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"histogram", "count", "min_ns", "p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns", "mean_ns", "precision"}); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		rec := []string{
+			row.Histogram,
+			strconv.FormatInt(row.Count, 10),
+			strconv.FormatInt(row.MinNS, 10),
+			strconv.FormatInt(row.P50NS, 10),
+			strconv.FormatInt(row.P90NS, 10),
+			strconv.FormatInt(row.P99NS, 10),
+			strconv.FormatInt(row.P999NS, 10),
+			strconv.FormatInt(row.MaxNS, 10),
+			strconv.FormatInt(row.MeanNS, 10),
+			strconv.Itoa(row.Precision),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteLatencyJSON renders the latency rows as an indented JSON array.
+func (r *Run) WriteLatencyJSON(w io.Writer) error {
+	rows, err := r.LatencyRows()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
 
 // LatencyDiffOptions configures the latency gate.
 type LatencyDiffOptions struct {

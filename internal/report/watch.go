@@ -1,0 +1,339 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the live half of the latency read side: where latency.go
+// renders a finished run's histograms.json, `report watch` polls a running
+// advisord's /metrics exposition (or a run directory, re-read each poll) and
+// renders a rolling rate/quantile view with deltas — plus an optional p99
+// budget that turns the watcher into a serving-latency gate. The exposition
+// parser is the read complement of internal/obs's PromWriter.
+
+// PromSample is one parsed exposition sample line.
+type PromSample struct {
+	// Name is the metric name ("advisord_requests_total").
+	Name string
+	// Labels holds the sample's label pairs (nil when unlabeled).
+	Labels map[string]string
+	// Value is the sample value (+Inf parses).
+	Value float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s PromSample) Label(key string) string { return s.Labels[key] }
+
+// ParsePromText parses a Prometheus text exposition (format 0.0.4) into its
+// samples. Comment and blank lines are skipped; a malformed sample line is
+// an error naming the line. It accepts exactly what obs.PromWriter emits —
+// plus optional trailing timestamps, which real exporters attach.
+func ParsePromText(r io.Reader) ([]PromSample, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []PromSample
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("report: exposition line %q: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// parsePromLine parses one sample line: name[{labels}] value [timestamp].
+func parsePromLine(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	if brace := strings.IndexByte(line, '{'); brace >= 0 {
+		s.Name = line[:brace]
+		end := strings.LastIndexByte(line, '}')
+		if end < brace {
+			return s, fmt.Errorf("unterminated label set")
+		}
+		labels, err := parsePromLabels(line[brace+1 : end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return s, fmt.Errorf("no sample value")
+		}
+		s.Name = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name")
+	}
+	// Drop an optional trailing timestamp: "value ts".
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parsePromLabels parses `k="v",k2="v2"` with the format's three escapes
+// (backslash, quote, newline).
+func parsePromLabels(in string) (map[string]string, error) {
+	labels := make(map[string]string)
+	i := 0
+	for i < len(in) {
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' at %q", in[i:])
+		}
+		key := strings.TrimSpace(in[i : i+eq])
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, fmt.Errorf("unquoted value for label %q", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, fmt.Errorf("unterminated value for label %q", key)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(in[i])
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+	return labels, nil
+}
+
+// WatchSample is one poll's view of the served-latency surface.
+type WatchSample struct {
+	// Requests and Errors are cumulative counts at poll time.
+	Requests, Errors int64
+	// P50NS and P99NS are latency quantiles in nanoseconds — rolling-window
+	// estimates from /metrics, whole-run estimates from a run directory.
+	P50NS, P99NS int64
+}
+
+// WatchSource produces one sample per call. An error marks the poll failed;
+// the watcher reports it and keeps polling.
+type WatchSource func() (WatchSample, error)
+
+// MetricsSource polls a live advisord /metrics endpoint. The run-level
+// (endpoint-unlabeled) latency summary feeds the quantiles, so the view
+// matches what the server is doing right now, not since it started.
+func MetricsSource(client *http.Client, url string) WatchSource {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return func() (WatchSample, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return WatchSample{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return WatchSample{}, fmt.Errorf("report: GET %s: HTTP %d", url, resp.StatusCode)
+		}
+		samples, err := ParsePromText(resp.Body)
+		if err != nil {
+			return WatchSample{}, err
+		}
+		var out WatchSample
+		var sawRequests bool
+		for _, s := range samples {
+			switch s.Name {
+			case "advisord_requests_total":
+				out.Requests, sawRequests = int64(s.Value), true
+			case "advisord_request_errors_total":
+				out.Errors = int64(s.Value)
+			case "advisord_request_latency_seconds":
+				if s.Label("endpoint") != "" {
+					continue // per-endpoint series; the run-level one is unlabeled
+				}
+				switch s.Label("quantile") {
+				case "0.5":
+					out.P50NS = int64(s.Value * 1e9)
+				case "0.99":
+					out.P99NS = int64(s.Value * 1e9)
+				}
+			}
+		}
+		if !sawRequests {
+			return WatchSample{}, fmt.Errorf("report: %s is not an advisord exposition (no advisord_requests_total)", url)
+		}
+		return out, nil
+	}
+}
+
+// watchHist is the run-level latency histogram a run directory persists
+// (server.LatencyHist / loadgen's run-level merge).
+const watchHist = "request_latency_ns"
+
+// RunDirSource polls a run directory's histograms.json — the post-mortem
+// twin of MetricsSource, re-read each poll so a directory being rewritten
+// (a daemon flushing on shutdown) converges on the final numbers.
+func RunDirSource(dir string) WatchSource {
+	return func() (WatchSample, error) {
+		r, err := Load(dir)
+		if err != nil {
+			return WatchSample{}, err
+		}
+		h, ok := r.Histograms[watchHist]
+		if !ok {
+			return WatchSample{}, fmt.Errorf("report: %s has no %s histogram to watch", dir, watchHist)
+		}
+		return WatchSample{
+			Requests: h.Count,
+			P50NS:    h.Quantile(0.50),
+			P99NS:    h.Quantile(0.99),
+		}, nil
+	}
+}
+
+// WatchOptions configures a watch loop.
+type WatchOptions struct {
+	// Target labels the watched thing in the header (a URL or run dir).
+	Target string
+	// Interval is the poll period (0 = poll back-to-back; tests).
+	Interval time.Duration
+	// Polls bounds the loop; <= 0 watches until the budget breaches (or
+	// forever — the interactive mode, ended by interrupt).
+	Polls int
+	// P99Budget, when positive, arms the gate: BreachPolls consecutive polls
+	// with p99 over it stop the watch with Breached set.
+	P99Budget time.Duration
+	// BreachPolls is the consecutive-breach count that trips the gate
+	// (0 = DefaultBreachPolls).
+	BreachPolls int
+}
+
+// DefaultBreachPolls is how many consecutive over-budget polls trip the
+// gate: one poll can be a scrape racing a cold start; three in a row is a
+// trend.
+const DefaultBreachPolls = 3
+
+// WatchResult is a watch loop's outcome.
+type WatchResult struct {
+	// Polls and Failures count polls attempted and polls that errored.
+	Polls, Failures int
+	// Breached reports the p99 budget tripping (BreachPolls consecutive).
+	Breached bool
+	// Last is the final successful sample (zero if every poll failed).
+	Last WatchSample
+}
+
+// Watch polls src and renders one line per poll: cumulative requests, the
+// rate and error delta since the previous poll, and the current p50/p99.
+// With a p99 budget it doubles as a gate, stopping early once the budget is
+// breached on BreachPolls consecutive polls.
+func Watch(w io.Writer, src WatchSource, opt WatchOptions) WatchResult {
+	if opt.BreachPolls <= 0 {
+		opt.BreachPolls = DefaultBreachPolls
+	}
+	fmt.Fprintf(w, "watch %s", opt.Target)
+	if opt.Polls > 0 {
+		fmt.Fprintf(w, ": %d polls", opt.Polls)
+	}
+	if opt.Interval > 0 {
+		fmt.Fprintf(w, " every %v", opt.Interval)
+	}
+	if opt.P99Budget > 0 {
+		fmt.Fprintf(w, " (p99 budget %v, %d consecutive to fail)", opt.P99Budget, opt.BreachPolls)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%6s  %10s  %10s  %8s  %10s  %10s\n",
+		"poll", "requests", "rate/s", "errors", "p50", "p99")
+
+	var res WatchResult
+	var prev WatchSample
+	var prevAt time.Time
+	var havePrev bool
+	streak := 0
+	for i := 0; opt.Polls <= 0 || i < opt.Polls; i++ {
+		if i > 0 && opt.Interval > 0 {
+			time.Sleep(opt.Interval)
+		}
+		res.Polls++
+		now := time.Now()
+		s, err := src()
+		if err != nil {
+			res.Failures++
+			fmt.Fprintf(w, "%6d  poll failed: %v\n", i+1, err)
+			continue
+		}
+		rate := "-"
+		errDelta := ""
+		if havePrev {
+			if dt := now.Sub(prevAt); dt > 0 && s.Requests >= prev.Requests {
+				rate = fmt.Sprintf("%.1f", float64(s.Requests-prev.Requests)/dt.Seconds())
+			}
+			if d := s.Errors - prev.Errors; d > 0 {
+				errDelta = fmt.Sprintf(" (+%d)", d)
+			}
+		}
+		status := ""
+		if opt.P99Budget > 0 && s.P99NS > int64(opt.P99Budget) {
+			streak++
+			status = fmt.Sprintf("  OVER BUDGET (%d/%d)", streak, opt.BreachPolls)
+		} else {
+			streak = 0
+		}
+		fmt.Fprintf(w, "%6d  %10d  %10s  %8s  %10v  %10v%s\n",
+			i+1, s.Requests, rate,
+			strconv.FormatInt(s.Errors, 10)+errDelta,
+			time.Duration(s.P50NS), time.Duration(s.P99NS), status)
+		res.Last = s
+		prev, prevAt, havePrev = s, now, true
+		if streak >= opt.BreachPolls {
+			res.Breached = true
+			break
+		}
+	}
+	switch {
+	case res.Breached:
+		fmt.Fprintf(w, "p99 budget %v breached on %d consecutive polls (last p99 %v)\n",
+			opt.P99Budget, opt.BreachPolls, time.Duration(res.Last.P99NS))
+	case res.Failures == res.Polls:
+		fmt.Fprintf(w, "all %d polls failed; nothing watched\n", res.Polls)
+	default:
+		fmt.Fprintf(w, "watched %d polls (%d failed): %d requests, %d errors, p99 %v\n",
+			res.Polls, res.Failures, res.Last.Requests, res.Last.Errors, time.Duration(res.Last.P99NS))
+	}
+	return res
+}

@@ -1,0 +1,254 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hamlet/internal/obs"
+)
+
+func TestParsePromText(t *testing.T) {
+	in := `# HELP x_total Help.
+# TYPE x_total counter
+x_total 42
+
+g{path="a\"b\\c\nd",quantile="0.5"} 1.5
+inf_bucket{le="+Inf"} 7
+stamped 3 1700000000000
+`
+	samples, err := ParsePromText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("parsed %d samples, want 4: %+v", len(samples), samples)
+	}
+	if s := samples[0]; s.Name != "x_total" || s.Value != 42 || s.Labels != nil {
+		t.Errorf("scalar sample = %+v", s)
+	}
+	if s := samples[1]; s.Label("path") != "a\"b\\c\nd" || s.Label("quantile") != "0.5" || s.Value != 1.5 {
+		t.Errorf("labeled sample = %+v", s)
+	}
+	if s := samples[2]; s.Label("le") != "+Inf" || s.Value != 7 {
+		t.Errorf("+Inf-labeled sample = %+v", s)
+	}
+	if s := samples[3]; s.Name != "stamped" || s.Value != 3 {
+		t.Errorf("timestamped sample = %+v (timestamp must be dropped)", s)
+	}
+
+	for _, bad := range []string{"novalue", "name{unclosed 1", "name{x=\"y\"} notanumber"} {
+		if _, err := ParsePromText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParsePromText(%q) accepted a malformed line", bad)
+		}
+	}
+}
+
+// TestParsePromTextRoundTrip: the parser must read back exactly what the
+// obs.PromWriter emits — the two halves of the exposition pipeline agree.
+func TestParsePromTextRoundTrip(t *testing.T) {
+	h := obs.NewHistogram(obs.DefaultPrecision)
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	snap := h.Snapshot()
+	var b strings.Builder
+	p := obs.NewPromWriter(&b)
+	p.Type("req_total", "counter", "Requests.")
+	p.Int("req_total", nil, 100)
+	p.Summary("lat_seconds", []string{"endpoint", "decide"}, snap, snap, 1e-9, 0.5, 0.99)
+	p.Histogram("dur_seconds", nil, snap, 1e-9)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePromText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parser rejected PromWriter output: %v\n%s", err, b.String())
+	}
+	byName := make(map[string]int)
+	for _, s := range samples {
+		byName[s.Name]++
+	}
+	if byName["req_total"] != 1 || byName["lat_seconds"] != 2 || byName["dur_seconds_bucket"] == 0 {
+		t.Errorf("sample census = %v", byName)
+	}
+}
+
+func TestMetricsSource(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `advisord_requests_total 120
+advisord_request_errors_total 3
+advisord_request_latency_seconds{endpoint="decide",quantile="0.5"} 9
+advisord_request_latency_seconds{quantile="0.5"} 0.000002
+advisord_request_latency_seconds{quantile="0.99"} 0.00001
+`)
+	}))
+	defer ts.Close()
+	s, err := MetricsSource(nil, ts.URL)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := WatchSample{Requests: 120, Errors: 3, P50NS: 2000, P99NS: 10000}
+	if s != want {
+		t.Errorf("sample = %+v, want %+v (per-endpoint series must be skipped)", s, want)
+	}
+}
+
+func TestMetricsSourceRejectsForeignExposition(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "some_other_metric 1\n")
+	}))
+	defer ts.Close()
+	if _, err := MetricsSource(nil, ts.URL)(); err == nil {
+		t.Error("a non-advisord exposition must error, not report zeros")
+	}
+}
+
+func TestRunDirSource(t *testing.T) {
+	src := RunDirSource(filepath.Join("testdata", "latency_base"))
+	s, err := src()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests != 100_000 || s.P50NS <= 0 || s.P99NS < s.P50NS {
+		t.Errorf("sample from fixture = %+v", s)
+	}
+
+	if _, err := RunDirSource(filepath.Join("testdata", "no-such-dir"))(); err == nil {
+		t.Error("missing run dir must error per poll")
+	}
+}
+
+func TestWatchRendersDeltasAndSummary(t *testing.T) {
+	var n int64
+	src := func() (WatchSample, error) {
+		n += 100
+		return WatchSample{Requests: n, Errors: n / 100, P50NS: 1000, P99NS: 5000}, nil
+	}
+	var buf bytes.Buffer
+	res := Watch(&buf, src, WatchOptions{Target: "test", Polls: 3})
+	if res.Polls != 3 || res.Failures != 0 || res.Breached {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Last.Requests != 300 {
+		t.Errorf("last sample = %+v", res.Last)
+	}
+	out := buf.String()
+	for _, want := range []string{"watch test: 3 polls", "p50", "300", "(+1)", "watched 3 polls (0 failed)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchBudgetBreachStopsEarly(t *testing.T) {
+	src := func() (WatchSample, error) {
+		return WatchSample{Requests: 1, P99NS: int64(10 * time.Millisecond)}, nil
+	}
+	var buf bytes.Buffer
+	res := Watch(&buf, src, WatchOptions{
+		Target:      "test",
+		Polls:       10,
+		P99Budget:   time.Millisecond,
+		BreachPolls: 2,
+	})
+	if !res.Breached {
+		t.Fatalf("budget did not breach: %+v\n%s", res, buf.String())
+	}
+	if res.Polls != 2 {
+		t.Errorf("breach must stop the loop at k polls, ran %d", res.Polls)
+	}
+	if !strings.Contains(buf.String(), "OVER BUDGET") || !strings.Contains(buf.String(), "breached on 2 consecutive polls") {
+		t.Errorf("output does not name the breach:\n%s", buf.String())
+	}
+}
+
+// TestWatchBreachStreakResets: a recovery between over-budget polls resets
+// the consecutive count, so a single spike never fails the gate.
+func TestWatchBreachStreakResets(t *testing.T) {
+	p99 := []int64{int64(10 * time.Millisecond), int64(time.Microsecond), int64(10 * time.Millisecond), int64(time.Microsecond)}
+	i := 0
+	src := func() (WatchSample, error) {
+		s := WatchSample{Requests: 1, P99NS: p99[i%len(p99)]}
+		i++
+		return s, nil
+	}
+	var buf bytes.Buffer
+	res := Watch(&buf, src, WatchOptions{Target: "t", Polls: 4, P99Budget: time.Millisecond, BreachPolls: 2})
+	if res.Breached {
+		t.Errorf("alternating spikes tripped the %d-consecutive gate:\n%s", 2, buf.String())
+	}
+}
+
+func TestWatchAllPollsFail(t *testing.T) {
+	src := func() (WatchSample, error) { return WatchSample{}, fmt.Errorf("connection refused") }
+	var buf bytes.Buffer
+	res := Watch(&buf, src, WatchOptions{Target: "dead", Polls: 2})
+	if res.Failures != 2 || res.Breached {
+		t.Fatalf("result = %+v", res)
+	}
+	if !strings.Contains(buf.String(), "all 2 polls failed") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+// TestLatencyFormatsRoundTrip: the csv and json renderings carry exactly the
+// rows LatencyRows computes — parse both back and compare.
+func TestLatencyFormatsRoundTrip(t *testing.T) {
+	r := loadFixture(t, "latency_base")
+	rows, err := r.LatencyRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var jb bytes.Buffer
+	if err := r.WriteLatencyJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var back []LatencyRow
+	if err := json.Unmarshal(jb.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, back) {
+		t.Errorf("json round trip: got %+v, want %+v", back, rows)
+	}
+
+	var cb bytes.Buffer
+	if err := r.WriteLatencyCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&cb).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(rows)+1 {
+		t.Fatalf("csv records = %d, want %d rows + header", len(recs), len(rows))
+	}
+	wantHeader := []string{"histogram", "count", "min_ns", "p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns", "mean_ns", "precision"}
+	if !reflect.DeepEqual(recs[0], wantHeader) {
+		t.Errorf("csv header = %v", recs[0])
+	}
+	for i, row := range rows {
+		rec := recs[i+1]
+		if rec[0] != row.Histogram || rec[1] != fmt.Sprint(row.Count) || rec[5] != fmt.Sprint(row.P99NS) {
+			t.Errorf("csv row %d = %v, want %+v", i, rec, row)
+		}
+	}
+
+	var empty Run
+	empty.Dir = "x"
+	if err := empty.WriteLatencyCSV(&bytes.Buffer{}); err == nil {
+		t.Error("WriteLatencyCSV on a histogram-less run should error")
+	}
+	if err := empty.WriteLatencyJSON(&bytes.Buffer{}); err == nil {
+		t.Error("WriteLatencyJSON on a histogram-less run should error")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -41,7 +42,7 @@ import (
 const LatencyHist = "request_latency_ns"
 
 // endpoints are the instrumented routes, each with its own latency series.
-var endpoints = []string{"decide", "datasets", "healthz", "readyz"}
+var endpoints = []string{"decide", "datasets", "healthz", "readyz", "metrics"}
 
 // Defaults for Config's zero values.
 const (
@@ -78,6 +79,18 @@ type Config struct {
 	// Registry, when set, replaces the server-owned registry (tests,
 	// pre-warmed processes).
 	Registry *registry.Registry
+	// Window is the rolling-metrics rotation interval
+	// (0 = obs.DefaultWindow). /metrics summaries and rates cover the last
+	// Windows of this length.
+	Window time.Duration
+	// Windows is the rolling-metrics ring depth (0 = obs.DefaultWindows).
+	Windows int
+	// Slow is the slow-request threshold: a request at or beyond it is
+	// logged, counted, and retained as an exemplar on /debug/slow.
+	// 0 disables slow-request capture.
+	Slow time.Duration
+	// SlowLog, when set, receives one line per slow request.
+	SlowLog io.Writer
 }
 
 // Server answers advisor decisions over HTTP. Build with New, expose via
@@ -97,7 +110,16 @@ type Server struct {
 	// requests and errors count every instrumented request and the 4xx/5xx
 	// subset.
 	requests, errors atomic.Int64
-	hists            map[string]*obs.Histogram
+	// inFlight gauges requests currently inside a handler.
+	inFlight atomic.Int64
+	hists    map[string]*obs.WindowedHistogram
+	// wreq and werr back the rolling request/error rates on /metrics.
+	wreq, werr *obs.WindowedCounter
+	// idPrefix + idSeq mint X-Request-IDs for requests arriving without one.
+	idPrefix string
+	idSeq    atomic.Uint64
+	// slow retains the most recent slow-request exemplars (/debug/slow).
+	slow slowRing
 	// decideHook, when set (tests only), runs at the top of the decide
 	// handler — the seam the graceful-shutdown drain test blocks on.
 	decideHook func()
@@ -124,25 +146,35 @@ func New(cfg Config) *Server {
 	if cfg.Registry == nil {
 		cfg.Registry = registry.New()
 	}
+	if cfg.Window == 0 {
+		cfg.Window = obs.DefaultWindow
+	}
+	if cfg.Windows == 0 {
+		cfg.Windows = obs.DefaultWindows
+	}
 	s := &Server{
-		cfg:    cfg,
-		reg:    cfg.Registry,
-		known:  make(map[string]bool),
-		advTR:  &core.Advisor{Rule: core.TRRule},
-		advROR: &core.Advisor{Rule: core.RORRule},
-		hists:  make(map[string]*obs.Histogram, len(endpoints)),
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		known:    make(map[string]bool),
+		advTR:    &core.Advisor{Rule: core.TRRule},
+		advROR:   &core.Advisor{Rule: core.RORRule},
+		hists:    make(map[string]*obs.WindowedHistogram, len(endpoints)),
+		wreq:     obs.NewWindowedCounter(cfg.Window, cfg.Windows),
+		werr:     obs.NewWindowedCounter(cfg.Window, cfg.Windows),
+		idPrefix: requestIDPrefix(),
 	}
 	for _, name := range registry.Names() {
 		s.known[name] = true
 	}
 	for _, ep := range endpoints {
-		h := obs.NewHistogram(cfg.Precision)
+		h := obs.NewWindowedHistogram(cfg.Precision, cfg.Window, cfg.Windows)
 		s.hists[ep] = h
-		// Publish on the Default registry: live on /debug/vars, persisted
-		// in metrics.json. The flush-to-histograms.json copy comes from
-		// the server's own handles (Histograms), so parallel servers in
-		// tests never bleed into each other's artifacts.
-		obs.Default.SetHistogram("advisord."+LatencyHist+"."+ep, h)
+		// Publish the cumulative view on the Default registry: live on
+		// /debug/vars, persisted in metrics.json. The flush-to-
+		// histograms.json copy comes from the server's own handles
+		// (Histograms), so parallel servers in tests never bleed into each
+		// other's artifacts. The windowed view is /metrics-only.
+		obs.Default.SetHistogram("advisord."+LatencyHist+"."+ep, h.Cumulative())
 	}
 
 	mux := http.NewServeMux()
@@ -150,6 +182,8 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/datasets", s.instrument("datasets", s.handleDatasets))
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealth))
 	mux.Handle("GET /readyz", s.instrument("readyz", s.handleReady))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	obs.Publish()
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -215,7 +249,7 @@ func (s *Server) Histograms() map[string]obs.HistogramSnapshot {
 	out := make(map[string]obs.HistogramSnapshot, len(s.hists)+1)
 	var total obs.HistogramSnapshot
 	for ep, h := range s.hists {
-		snap := h.Snapshot()
+		snap := h.Total()
 		if snap.Count == 0 {
 			continue
 		}
@@ -243,21 +277,49 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// RequestIDHeader carries the request ID on requests and responses: an
+// inbound value is adopted verbatim, a missing one is minted server-side,
+// and either way the response echoes it.
+const RequestIDHeader = "X-Request-ID"
+
 // instrument wraps a handler with the per-endpoint latency histogram, the
-// request/error counters, and the request-log event.
+// request/error counters and rolling rates, the request ID, slow-request
+// capture, and the request-log event.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	hist := s.hists[endpoint]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = s.nextRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		s.inFlight.Add(1)
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		elapsed := time.Since(start)
+		s.inFlight.Add(-1)
 		hist.Observe(elapsed.Nanoseconds())
 		s.requests.Add(1)
+		s.wreq.Inc()
 		if rec.status >= 400 {
 			s.errors.Add(1)
+			s.werr.Inc()
+		}
+		if s.cfg.Slow > 0 && elapsed >= s.cfg.Slow {
+			s.recordSlow(SlowRequest{
+				ID:         id,
+				Endpoint:   endpoint,
+				Method:     r.Method,
+				Path:       r.URL.Path,
+				Status:     rec.status,
+				Queries:    rec.queries,
+				DurationNS: elapsed.Nanoseconds(),
+				Time:       start.UTC(),
+			})
 		}
 		attrs := []slog.Attr{
+			slog.String("request_id", id),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", rec.status),

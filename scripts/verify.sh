@@ -24,8 +24,10 @@
 #      committed seeded-regression fixture must make the latency gate exit
 #      1, and the identical-run latency diff must exit 0.
 #   9. advisord smoke test: the daemon must come up on an ephemeral port,
-#      answer a loadgen -url round trip, drain cleanly on SIGTERM (exit 0),
-#      and flush a histograms.json that `report latency` renders.
+#      answer a loadgen -url round trip, serve a /metrics exposition with a
+#      nonzero request counter that `report watch` parses, drain cleanly on
+#      SIGTERM (exit 0), remove its addrfile, and flush a histograms.json
+#      that `report latency` renders.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -106,11 +108,32 @@ while [ ! -s "$loadgen_dir/addr" ]; do
     fi
     sleep 0.1
 done
-go run ./cmd/loadgen -url "http://$(cat "$loadgen_dir/addr")" \
+advisord_url="http://$(cat "$loadgen_dir/addr")"
+go run ./cmd/loadgen -url "$advisord_url" \
     -duration 200ms -scale 0.02 >/dev/null
+
+# Scrape the live /metrics exposition (curl where present, wget otherwise),
+# assert the request counter moved, and let `report watch` parse it end to
+# end — the same surface CI uploads as an artifact.
+if command -v curl >/dev/null 2>&1; then
+    curl -fsS "$advisord_url/metrics" >"$loadgen_dir/metrics.prom"
+else
+    wget -qO "$loadgen_dir/metrics.prom" "$advisord_url/metrics"
+fi
+requests="$(awk '$1 == "advisord_requests_total" { print int($2) }' "$loadgen_dir/metrics.prom")"
+if [ -z "$requests" ] || [ "$requests" -le 0 ]; then
+    echo "verify: /metrics advisord_requests_total not positive after loadgen (got '${requests:-missing}')" >&2
+    exit 1
+fi
+go run ./cmd/report watch -count 1 -interval 0s "$advisord_url" >/dev/null
+
 kill -TERM "$advisord_pid"
 if ! wait "$advisord_pid"; then
     echo "verify: advisord did not drain cleanly on SIGTERM" >&2
+    exit 1
+fi
+if [ -e "$loadgen_dir/addr" ]; then
+    echo "verify: advisord left a stale addrfile after clean exit" >&2
     exit 1
 fi
 go run ./cmd/report latency "$loadgen_dir/adv_run" >/dev/null
