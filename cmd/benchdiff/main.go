@@ -60,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 0.10, "regression threshold on the ns/op delta (0.10 = 10% slower)")
+	memThreshold := fs.Float64("memthreshold", 0.10, "regression threshold on the B/op and allocs/op deltas; applies only to benchmarks where both snapshots record memory (-benchmem)")
 	alpha := fs.Float64("alpha", 0.05, "significance level for the Welch t-test when both sides have multiple samples")
 	quiet := fs.Bool("q", false, "suppress the per-benchmark table; print only regressions and the geomean")
 	fs.Usage = func() {
@@ -94,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitVacuous
 	}
 	regressions := rep.Regressions(*threshold, *alpha)
+	memRegressions := rep.MemRegressions(*memThreshold, *alpha)
 	if !*quiet {
 		writeTable(stdout, rep, *threshold, *alpha)
 	}
@@ -102,12 +104,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, " (%d only in old, %d only in new)", len(rep.OnlyOld), len(rep.OnlyNew))
 	}
 	fmt.Fprintln(stdout)
+	failed := false
 	if len(regressions) > 0 {
+		failed = true
 		fmt.Fprintf(stdout, "REGRESSION: %d benchmark(s) slower than %+.0f%%:\n", len(regressions), 100**threshold)
 		for _, d := range regressions {
 			fmt.Fprintf(stdout, "  %s %+.1f%% (%s -> %s)%s\n",
 				d.Name, 100*d.Delta, ns(d.OldNs), ns(d.NewNs), pNote(d))
 		}
+	}
+	if len(memRegressions) > 0 {
+		failed = true
+		fmt.Fprintf(stdout, "MEM REGRESSION: %d benchmark(s) allocating more than %+.0f%%:\n", len(memRegressions), 100**memThreshold)
+		for _, d := range memRegressions {
+			if d.BytesRegressed(*memThreshold, *alpha) {
+				fmt.Fprintf(stdout, "  %s B/op %+.1f%% (%s -> %s)\n",
+					d.Name, 100*d.BytesDelta, bytes(d.OldBytes), bytes(d.NewBytes))
+			}
+			if d.AllocsRegressed(*memThreshold, *alpha) {
+				fmt.Fprintf(stdout, "  %s allocs/op %+.1f%% (%.0f -> %.0f)\n",
+					d.Name, 100*d.AllocsDelta, d.OldAllocs, d.NewAllocs)
+			}
+		}
+	}
+	if failed {
 		return exitRegression
 	}
 	return exitOK
@@ -117,7 +137,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // regression (>), an improvement (<), or noise-level (~).
 func writeTable(w io.Writer, rep *bench.Report, threshold, alpha float64) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tp\tallocs/op\t")
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tp\tB/op\tallocs/op\t")
 	for _, d := range rep.Deltas {
 		mark := "~"
 		switch {
@@ -126,8 +146,8 @@ func writeTable(w io.Writer, rep *bench.Report, threshold, alpha float64) {
 		case d.Delta < -threshold && d.Significant(alpha):
 			mark = "<"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%+.1f%%\t%s\t%s\t%s\n",
-			d.Name, ns(d.OldNs), ns(d.NewNs), 100*d.Delta, pString(d), allocsString(d), mark)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%+.1f%%\t%s\t%s\t%s\t%s\n",
+			d.Name, ns(d.OldNs), ns(d.NewNs), 100*d.Delta, pString(d), bytesString(d), allocsString(d), mark)
 	}
 	tw.Flush()
 	for _, name := range rep.OnlyOld {
@@ -177,4 +197,29 @@ func allocsString(d bench.Delta) string {
 		return fmt.Sprintf("%.0f", d.NewAllocs)
 	}
 	return fmt.Sprintf("%.0f->%.0f", d.OldAllocs, d.NewAllocs)
+}
+
+// bytesString renders the B/op transition, or "-" when unrecorded.
+func bytesString(d bench.Delta) string {
+	if math.IsNaN(d.OldBytes) || math.IsNaN(d.NewBytes) {
+		return "-"
+	}
+	if d.OldBytes == d.NewBytes {
+		return bytes(d.NewBytes)
+	}
+	return bytes(d.OldBytes) + "->" + bytes(d.NewBytes)
+}
+
+// bytes renders a B/op mean compactly.
+func bytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.3gGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.4gMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.4gKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.4gB", v)
+	}
 }

@@ -36,11 +36,56 @@ func TestExitCodeOnRegression(t *testing.T) {
 	}
 }
 
+func TestExitCodeOnMemRegression(t *testing.T) {
+	var out, errb strings.Builder
+	// The fixture holds ns/op at the baseline and regresses only memory:
+	// BenchmarkKFKJoin's B/op by +25%, BenchmarkNBFit's allocs/op by +67%.
+	code := run([]string{"testdata/old.json", "testdata/new_memregressed.json"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	text := out.String()
+	if strings.Contains(text, "REGRESSION: ") && !strings.Contains(text, "MEM REGRESSION") {
+		t.Errorf("time gate fired on a mem-only fixture:\n%s", text)
+	}
+	if !strings.Contains(text, "MEM REGRESSION") {
+		t.Errorf("mem regression report missing:\n%s", text)
+	}
+	if !strings.Contains(text, "BenchmarkKFKJoin B/op") {
+		t.Errorf("B/op offender missing:\n%s", text)
+	}
+	if !strings.Contains(text, "BenchmarkNBFit allocs/op") {
+		t.Errorf("allocs/op offender missing:\n%s", text)
+	}
+}
+
+func TestMemThresholdFlagLoosensGate(t *testing.T) {
+	var out, errb strings.Builder
+	// 25% B/op and 67% allocs/op regressions pass under a 70% threshold.
+	code := run([]string{"-memthreshold", "0.7", "testdata/old.json", "testdata/new_memregressed.json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with 70%% memthreshold; stdout:\n%s", code, out.String())
+	}
+	// The time threshold does not loosen the mem gate.
+	code = run([]string{"-threshold", "0.9", "testdata/old.json", "testdata/new_memregressed.json"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 with loose time threshold only; stdout:\n%s", code, out.String())
+	}
+}
+
 func TestThresholdFlagLoosensGate(t *testing.T) {
 	var out, errb strings.Builder
-	code := run([]string{"-threshold", "0.5", "testdata/old.json", "testdata/new_regressed.json"}, &out, &errb)
+	// new_regressed.json regresses both time and memory on
+	// BenchmarkForwardSelection, so both gates must be loosened to pass.
+	code := run([]string{"-threshold", "0.5", "-memthreshold", "0.5", "testdata/old.json", "testdata/new_regressed.json"}, &out, &errb)
 	if code != 0 {
-		t.Fatalf("exit = %d, want 0 with 50%% threshold; stdout:\n%s", code, out.String())
+		t.Fatalf("exit = %d, want 0 with 50%% thresholds; stdout:\n%s", code, out.String())
+	}
+	// Loosening only the time gate leaves the mem gate armed.
+	out.Reset()
+	code = run([]string{"-threshold", "0.5", "testdata/old.json", "testdata/new_regressed.json"}, &out, &errb)
+	if code != 1 || !strings.Contains(out.String(), "MEM REGRESSION") {
+		t.Fatalf("exit = %d, want 1 from the mem gate alone; stdout:\n%s", code, out.String())
 	}
 }
 

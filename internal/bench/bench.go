@@ -159,7 +159,11 @@ func parseBenchText(data []byte) ([]Sample, error) {
 // Delta is one aligned benchmark's old-vs-new comparison. Means are over
 // the available samples; P is the Welch two-sided p-value for the ns/op
 // means (NaN when either side has fewer than two samples — the caller then
-// gates on the threshold alone).
+// gates on the threshold alone). The memory metrics (B/op, allocs/op) carry
+// their own deltas and p-values so callers can gate on peak-allocation
+// regressions independently of time: a streaming operator that silently
+// re-materializes shows up in B/op long before ns/op moves. Memory fields
+// are NaN when either snapshot lacks -benchmem data.
 type Delta struct {
 	Name      string
 	OldNs     float64 // mean ns/op, old
@@ -171,6 +175,18 @@ type Delta struct {
 	NNew      int
 	OldAllocs float64 // mean allocs/op (NaN when not recorded)
 	NewAllocs float64
+	// AllocsDelta is the allocs/op ratio - 1; 0 -> n regressions are +Inf
+	// (a previously allocation-free path now allocates).
+	AllocsDelta float64
+	// PAllocs is the Welch p-value over the allocs/op samples.
+	PAllocs float64
+	// OldBytes and NewBytes are the mean B/op (NaN when not recorded).
+	OldBytes float64
+	NewBytes float64
+	// BytesDelta is the B/op ratio - 1, with the same +Inf convention.
+	BytesDelta float64
+	// PBytes is the Welch p-value over the B/op samples.
+	PBytes float64
 }
 
 // Report is the aligned comparison of two snapshots.
@@ -188,6 +204,7 @@ type Report struct {
 // group collects the per-metric sample series of one benchmark name.
 type group struct {
 	ns     []float64
+	bytes  []float64
 	allocs []float64
 }
 
@@ -200,11 +217,30 @@ func groupByName(samples []Sample) map[string]*group {
 			out[s.Name] = g
 		}
 		g.ns = append(g.ns, s.NsPerOp)
+		if s.BytesPerOp != nil {
+			g.bytes = append(g.bytes, *s.BytesPerOp)
+		}
 		if s.AllocsPerOp != nil {
 			g.allocs = append(g.allocs, *s.AllocsPerOp)
 		}
 	}
 	return out
+}
+
+// memDelta returns ratio-1 for a memory metric's old/new means, with the
+// zero-baseline convention: 0 -> 0 is unchanged, 0 -> anything positive is
+// +Inf (a previously allocation-free path now allocates — always a gate-
+// worthy regression), and NaN propagates when either side is unrecorded.
+func memDelta(oldMean, newMean float64) float64 {
+	switch {
+	case math.IsNaN(oldMean) || math.IsNaN(newMean):
+		return math.NaN()
+	case oldMean == 0 && newMean == 0:
+		return 0
+	case oldMean == 0:
+		return math.Inf(1)
+	}
+	return newMean/oldMean - 1
 }
 
 // meanOrNaN returns the mean of xs, or NaN when empty.
@@ -234,10 +270,16 @@ func Diff(before, after *Snapshot) *Report {
 			NNew:      len(n.ns),
 			OldAllocs: meanOrNaN(o.allocs),
 			NewAllocs: meanOrNaN(n.allocs),
+			OldBytes:  meanOrNaN(o.bytes),
+			NewBytes:  meanOrNaN(n.bytes),
 		}
 		d.Ratio = d.NewNs / d.OldNs
 		d.Delta = d.Ratio - 1
 		_, _, d.P = stats.WelchTTest(o.ns, n.ns)
+		d.AllocsDelta = memDelta(d.OldAllocs, d.NewAllocs)
+		_, _, d.PAllocs = stats.WelchTTest(o.allocs, n.allocs)
+		d.BytesDelta = memDelta(d.OldBytes, d.NewBytes)
+		_, _, d.PBytes = stats.WelchTTest(o.bytes, n.bytes)
 		rep.Deltas = append(rep.Deltas, d)
 		logSum += math.Log(d.Ratio)
 	}
@@ -278,5 +320,50 @@ func (r *Report) Regressions(threshold, alpha float64) []Delta {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Delta > out[j].Delta })
+	return out
+}
+
+// significantAt applies the Significant NaN rule to an arbitrary p-value.
+func significantAt(p, alpha float64) bool {
+	if math.IsNaN(p) {
+		return true
+	}
+	return p < alpha
+}
+
+// BytesRegressed reports whether the B/op metric regressed beyond threshold
+// with significance alpha; false when either snapshot lacks B/op data.
+func (d Delta) BytesRegressed(threshold, alpha float64) bool {
+	return !math.IsNaN(d.BytesDelta) && d.BytesDelta > threshold && significantAt(d.PBytes, alpha)
+}
+
+// AllocsRegressed is BytesRegressed for the allocs/op metric.
+func (d Delta) AllocsRegressed(threshold, alpha float64) bool {
+	return !math.IsNaN(d.AllocsDelta) && d.AllocsDelta > threshold && significantAt(d.PAllocs, alpha)
+}
+
+// MemRegressions returns the deltas whose B/op or allocs/op grew by more
+// than threshold (with the same significance machinery as Regressions),
+// sorted worst first by their larger memory delta. Benchmarks where either
+// snapshot lacks -benchmem data never qualify: the memory gate only fires
+// when both sides actually measured memory.
+func (r *Report) MemRegressions(threshold, alpha float64) []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.BytesRegressed(threshold, alpha) || d.AllocsRegressed(threshold, alpha) {
+			out = append(out, d)
+		}
+	}
+	worst := func(d Delta) float64 {
+		w := math.Inf(-1)
+		if !math.IsNaN(d.BytesDelta) && d.BytesDelta > w {
+			w = d.BytesDelta
+		}
+		if !math.IsNaN(d.AllocsDelta) && d.AllocsDelta > w {
+			w = d.AllocsDelta
+		}
+		return w
+	}
+	sort.Slice(out, func(i, j int) bool { return worst(out[i]) > worst(out[j]) })
 	return out
 }

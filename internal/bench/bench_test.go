@@ -193,3 +193,83 @@ func TestDiffAllocs(t *testing.T) {
 		t.Errorf("missing allocs should be NaN, got %v", rep.Deltas[0].OldAllocs)
 	}
 }
+
+// memSnap builds a snapshot where every sample carries the same ns/op but
+// per-name B/op and allocs/op series.
+func memSnap(byName map[string][2][]float64) *Snapshot {
+	s := &Snapshot{}
+	for name, series := range byName {
+		bytes, allocs := series[0], series[1]
+		for i := range bytes {
+			b, a := bytes[i], allocs[i]
+			s.Benchmarks = append(s.Benchmarks, Sample{
+				Name: name, Iterations: 1, NsPerOp: 100,
+				BytesPerOp: &b, AllocsPerOp: &a,
+			})
+		}
+	}
+	return s
+}
+
+func TestMemDelta(t *testing.T) {
+	if got := memDelta(100, 125); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("memDelta(100,125) = %v, want 0.25", got)
+	}
+	if got := memDelta(0, 0); got != 0 {
+		t.Errorf("memDelta(0,0) = %v, want 0", got)
+	}
+	if got := memDelta(0, 1); !math.IsInf(got, 1) {
+		t.Errorf("memDelta(0,1) = %v, want +Inf", got)
+	}
+	if got := memDelta(math.NaN(), 5); !math.IsNaN(got) {
+		t.Errorf("memDelta(NaN,5) = %v, want NaN", got)
+	}
+	if got := memDelta(5, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("memDelta(5,NaN) = %v, want NaN", got)
+	}
+}
+
+func TestMemRegressions(t *testing.T) {
+	before := memSnap(map[string][2][]float64{
+		"BenchmarkBytes":  {{1000, 1000, 1000}, {10, 10, 10}},
+		"BenchmarkAllocs": {{500, 500, 500}, {10, 10, 10}},
+		"BenchmarkFlat":   {{500, 500, 500}, {10, 10, 10}},
+		"BenchmarkZero":   {{0, 0, 0}, {0, 0, 0}},
+	})
+	after := memSnap(map[string][2][]float64{
+		"BenchmarkBytes":  {{1250, 1250, 1250}, {10, 10, 10}}, // B/op +25%
+		"BenchmarkAllocs": {{500, 500, 500}, {15, 15, 15}},    // allocs/op +50%
+		"BenchmarkFlat":   {{510, 510, 510}, {10, 10, 10}},    // +2%, under threshold
+		"BenchmarkZero":   {{64, 64, 64}, {1, 1, 1}},          // 0 -> positive: +Inf
+	})
+	rep := Diff(before, after)
+	regs := rep.MemRegressions(0.10, 0.05)
+	names := map[string]Delta{}
+	for _, d := range regs {
+		names[d.Name] = d
+	}
+	if _, ok := names["BenchmarkBytes"]; !ok {
+		t.Error("+25% B/op regression not flagged")
+	}
+	if _, ok := names["BenchmarkAllocs"]; !ok {
+		t.Error("+50% allocs/op regression not flagged")
+	}
+	if _, ok := names["BenchmarkFlat"]; ok {
+		t.Error("+2% delta flagged despite 10% threshold")
+	}
+	if _, ok := names["BenchmarkZero"]; !ok {
+		t.Error("0 -> positive regression not flagged (+Inf convention)")
+	}
+	if len(regs) != 3 {
+		t.Errorf("got %d mem regressions, want 3: %v", len(regs), regs)
+	}
+	// Sorted worst first: +Inf, then +50% allocs, then +25% bytes.
+	if regs[0].Name != "BenchmarkZero" || regs[1].Name != "BenchmarkAllocs" || regs[2].Name != "BenchmarkBytes" {
+		t.Errorf("mem regressions not sorted worst-first: %+v", regs)
+	}
+	// Benchmarks without -benchmem data never fire the mem gate.
+	rep = Diff(snap(map[string][]float64{"BenchmarkX": {100, 100}}), snap(map[string][]float64{"BenchmarkX": {100, 100}}))
+	if got := rep.MemRegressions(0.0, 0.05); len(got) != 0 {
+		t.Errorf("NaN memory metrics fired the gate: %+v", got)
+	}
+}

@@ -71,3 +71,26 @@ func TestDecideFromStatsValidates(t *testing.T) {
 		t.Error("unknown rule did not error")
 	}
 }
+
+// TestCollectStatsChunkedBitIdentical pins the chunked-scan refactor:
+// because H(Y) is a function of the class counts alone, CollectStatsChunked
+// must return a bit-identical DatasetStats (entropy float included) at every
+// chunk size, including sizes larger than the table and the default.
+func TestCollectStatsChunkedBitIdentical(t *testing.T) {
+	for _, skewY := range []bool{false, true} {
+		d := fixture(2000, 40, 400, skewY)
+		want, err := CollectStats(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cs := range []int{1, 7, 500, 100000, 0} {
+			got, err := CollectStatsChunked(d, cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("chunk %d (skewY=%v): chunked stats diverge:\n%+v\n%+v", cs, skewY, want, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package dataset
+
+import (
+	"fmt"
+
+	"hamlet/internal/obs"
+	"hamlet/internal/relational"
+)
+
+// Streaming materialization. Materialize builds the full design matrix —
+// O(rows · features) memory — before any learner sees a single row, which is
+// exactly the denormalized table the paper argues is redundant. StreamDesign
+// executes the same plan as a streaming pipeline instead: a chunked scan of
+// the entity table composed with one relational.StreamJoin per joined
+// attribute table, projected into the plan's feature order. Consumers that
+// only need aggregates over the design (Naive Bayes sufficient statistics,
+// entropy counts, FD checks) fold over the chunks and never hold more than
+// O(chunk · features) cells, so the feasible dataset size is bounded by the
+// base tables, not by the denormalized output.
+var (
+	streamDesigns    = obs.C("dataset.stream_designs")
+	streamDesignRows = obs.C("dataset.stream_design_rows")
+)
+
+// DesignChunk is one columnar batch of design-matrix rows: the feature
+// columns in plan order plus the labels. Like relational.Chunk, the slices
+// are views or reused buffers valid only until the next call to Next.
+type DesignChunk struct {
+	// Cols holds one slice per feature, aligned with DesignSource.Features.
+	Cols [][]int32
+	// Y holds the labels for this chunk's rows.
+	Y []int32
+	// Rows is the number of rows in this chunk.
+	Rows int
+}
+
+// DesignSource streams the design matrix of a join plan in chunks. Features
+// carries the same metadata (name, cardinality, source table, FK flag) in
+// the same order as Materialize would produce, but with nil Data: the values
+// flow through Next instead of being resident all at once.
+type DesignSource struct {
+	// Features describes the design columns in order; Data fields are nil.
+	Features []Feature
+	// NumClasses is the target cardinality.
+	NumClasses int
+
+	src     relational.RowSource
+	yIdx    int
+	featIdx []int
+	chunk   DesignChunk
+}
+
+// StreamDesign builds the streaming pipeline for the given plan: home
+// features first, then usable FK features, then the foreign features of each
+// joined attribute table, exactly as Materialize orders them. The plan's FKs
+// are validated up front; the data itself streams through chunkSize-row
+// chunks (relational.DefaultChunkSize when chunkSize <= 0).
+func (d *Dataset) StreamDesign(p Plan, chunkSize int) (*DesignSource, error) {
+	y := d.Entity.Column(d.Target)
+	if y == nil {
+		return nil, fmt.Errorf("dataset %q: target %q missing", d.Name, d.Target)
+	}
+	for _, fk := range p.JoinFKs {
+		if d.AttrByFK(fk) == nil {
+			return nil, fmt.Errorf("dataset %q: plan joins unknown FK %q", d.Name, fk)
+		}
+	}
+	for _, fk := range p.DropFKs {
+		if d.AttrByFK(fk) == nil {
+			return nil, fmt.Errorf("dataset %q: plan drops unknown FK %q", d.Name, fk)
+		}
+	}
+	var src relational.RowSource = relational.NewTableSource(d.Entity, chunkSize)
+	for _, at := range d.Attrs {
+		if !contains(p.JoinFKs, at.FK) {
+			continue
+		}
+		var err error
+		src, err = relational.StreamJoin(src, at.FK, at.Table)
+		if err != nil {
+			return nil, fmt.Errorf("dataset %q: %w", d.Name, err)
+		}
+	}
+	out := &DesignSource{NumClasses: y.Card, src: src}
+	schema := src.Schema()
+	addFeature := func(f Feature) error {
+		idx, err := schemaIndex(schema, f.Name)
+		if err != nil {
+			return fmt.Errorf("dataset %q: %w", d.Name, err)
+		}
+		out.Features = append(out.Features, f)
+		out.featIdx = append(out.featIdx, idx)
+		return nil
+	}
+	var err error
+	if out.yIdx, err = schemaIndex(schema, d.Target); err != nil {
+		return nil, fmt.Errorf("dataset %q: %w", d.Name, err)
+	}
+	for _, name := range d.HomeFeatures {
+		c := d.Entity.Column(name)
+		if err := addFeature(Feature{Name: c.Name, Card: c.Card, Source: "S"}); err != nil {
+			return nil, err
+		}
+	}
+	for _, at := range d.Attrs {
+		if at.ClosedDomain && !contains(p.DropFKs, at.FK) {
+			fk := d.Entity.Column(at.FK)
+			if err := addFeature(Feature{Name: fk.Name, Card: fk.Card, Source: "S", IsFK: true}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, at := range d.Attrs {
+		if !contains(p.JoinFKs, at.FK) {
+			continue
+		}
+		for _, rc := range at.Table.Columns() {
+			if err := addFeature(Feature{Name: rc.Name, Card: rc.Card, Source: at.Table.Name}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out.chunk.Cols = make([][]int32, len(out.Features))
+	streamDesigns.Inc()
+	return out, nil
+}
+
+// schemaIndex resolves one column name to its schema position.
+func schemaIndex(schema []relational.ColumnInfo, name string) (int, error) {
+	for i, ci := range schema {
+		if ci.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("column %q missing from streaming schema", name)
+}
+
+// NumFeatures returns the number of design columns.
+func (s *DesignSource) NumFeatures() int { return len(s.Features) }
+
+// Next returns the next design chunk, or nil when the stream is exhausted.
+// The chunk is valid only until the following Next or Reset call.
+func (s *DesignSource) Next() (*DesignChunk, error) {
+	ch, err := s.src.Next()
+	if err != nil || ch == nil {
+		return nil, err
+	}
+	for i, j := range s.featIdx {
+		s.chunk.Cols[i] = ch.Cols[j]
+	}
+	s.chunk.Y = ch.Cols[s.yIdx]
+	s.chunk.Rows = ch.Rows
+	streamDesignRows.Add(int64(ch.Rows))
+	return &s.chunk, nil
+}
+
+// Reset rewinds the stream so the design can be drained again.
+func (s *DesignSource) Reset() { s.src.Reset() }
+
+// Materialize drains the stream into an ordinary Design. It is the bridge
+// back to the batch world (and the equivalence-test reference); consumers
+// that only need aggregates should fold over Next instead.
+func (s *DesignSource) Materialize() (*Design, error) {
+	out := &Design{NumClasses: s.NumClasses}
+	out.Features = make([]Feature, len(s.Features))
+	copy(out.Features, s.Features)
+	for {
+		ch, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ch == nil {
+			break
+		}
+		out.Y = append(out.Y, ch.Y[:ch.Rows]...)
+		for i := range out.Features {
+			out.Features[i].Data = append(out.Features[i].Data, ch.Cols[i][:ch.Rows]...)
+		}
+	}
+	return out, nil
+}

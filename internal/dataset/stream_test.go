@@ -1,0 +1,169 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"hamlet/internal/relational"
+)
+
+// randDataset builds a random normalized dataset: an entity table with a
+// target, a few home features, and nAttrs attribute tables behind FKs with
+// random closed/open domains.
+func randDataset(rng *rand.Rand) *Dataset {
+	nS := rng.Intn(120)
+	entity := relational.NewTable("S")
+	yCard := 2 + rng.Intn(3)
+	yData := make([]int32, nS)
+	for i := range yData {
+		yData[i] = int32(rng.Intn(yCard))
+	}
+	entity.MustAddColumn(&relational.Column{Name: "Y", Card: yCard, Data: yData})
+	var home []string
+	for h := 0; h < 1+rng.Intn(3); h++ {
+		card := 1 + rng.Intn(6)
+		data := make([]int32, nS)
+		for i := range data {
+			data[i] = int32(rng.Intn(card))
+		}
+		name := "H" + string(rune('a'+h))
+		entity.MustAddColumn(&relational.Column{Name: name, Card: card, Data: data})
+		home = append(home, name)
+	}
+	d := &Dataset{Name: "Rand", Entity: entity, Target: "Y", HomeFeatures: home}
+	for a := 0; a < rng.Intn(3); a++ {
+		nR := 1 + rng.Intn(25)
+		attr := relational.NewTable("R" + string(rune('0'+a)))
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			card := 1 + rng.Intn(8)
+			data := make([]int32, nR)
+			for i := range data {
+				data[i] = int32(rng.Intn(card))
+			}
+			attr.MustAddColumn(&relational.Column{Name: "F" + string(rune('0'+a)) + string(rune('a'+j)), Card: card, Data: data})
+		}
+		fk := make([]int32, nS)
+		for i := range fk {
+			fk[i] = int32(rng.Intn(nR))
+		}
+		fkName := "FK" + string(rune('0'+a))
+		entity.MustAddColumn(&relational.Column{Name: fkName, Card: nR, Data: fk})
+		d.Attrs = append(d.Attrs, AttributeTable{Table: attr, FK: fkName, ClosedDomain: rng.Intn(3) > 0})
+	}
+	return d
+}
+
+// randPlan picks a random valid plan over d's FKs.
+func randPlan(rng *rand.Rand, d *Dataset) Plan {
+	var p Plan
+	for _, at := range d.Attrs {
+		if !at.ClosedDomain || rng.Intn(2) == 0 {
+			p.JoinFKs = append(p.JoinFKs, at.FK)
+		}
+		if at.ClosedDomain && rng.Intn(3) == 0 {
+			p.DropFKs = append(p.DropFKs, at.FK)
+		}
+	}
+	return p
+}
+
+// designsEqual compares metadata and every cell of two designs.
+func designsEqual(t *testing.T, want, got *Design) {
+	t.Helper()
+	if got.NumClasses != want.NumClasses || got.NumFeatures() != want.NumFeatures() || got.NumRows() != want.NumRows() {
+		t.Fatalf("shape: got (%d classes, %d feats, %d rows), want (%d, %d, %d)",
+			got.NumClasses, got.NumFeatures(), got.NumRows(), want.NumClasses, want.NumFeatures(), want.NumRows())
+	}
+	for i := range want.Y {
+		if got.Y[i] != want.Y[i] {
+			t.Fatalf("Y[%d]: got %d, want %d", i, got.Y[i], want.Y[i])
+		}
+	}
+	for f := range want.Features {
+		wf, gf := &want.Features[f], &got.Features[f]
+		if gf.Name != wf.Name || gf.Card != wf.Card || gf.Source != wf.Source || gf.IsFK != wf.IsFK {
+			t.Fatalf("feature %d metadata: got %+v, want %+v", f,
+				Feature{Name: gf.Name, Card: gf.Card, Source: gf.Source, IsFK: gf.IsFK},
+				Feature{Name: wf.Name, Card: wf.Card, Source: wf.Source, IsFK: wf.IsFK})
+		}
+		for i := range wf.Data {
+			if gf.Data[i] != wf.Data[i] {
+				t.Fatalf("feature %q row %d: got %d, want %d", wf.Name, i, gf.Data[i], wf.Data[i])
+			}
+		}
+	}
+}
+
+// TestStreamDesignMatchesMaterialize is the dataset-level equivalence
+// property: for random datasets, plans, and chunk sizes, draining the
+// streaming pipeline reproduces Materialize bit for bit — same feature
+// order, metadata, labels, and cells.
+func TestStreamDesignMatchesMaterialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		d := randDataset(rng)
+		p := randPlan(rng, d)
+		want, err := d.Materialize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cs := range []int{1, 3, 17, 1000, 0} {
+			src, err := d.StreamDesign(p, cs)
+			if err != nil {
+				t.Fatalf("chunk %d: %v", cs, err)
+			}
+			got, err := src.Materialize()
+			if err != nil {
+				t.Fatalf("chunk %d: %v", cs, err)
+			}
+			designsEqual(t, want, got)
+		}
+	}
+}
+
+func TestStreamDesignNamedPlans(t *testing.T) {
+	d := churn()
+	for _, p := range []Plan{d.JoinAllPlan(), d.NoJoinsPlan(), d.JoinAllNoFKPlan()} {
+		want, err := d.Materialize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := d.StreamDesign(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := src.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		designsEqual(t, want, got)
+	}
+}
+
+func TestStreamDesignReset(t *testing.T) {
+	d := churn()
+	src, err := d.StreamDesign(d.JoinAllPlan(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := src.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+	second, err := src.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	designsEqual(t, first, second)
+}
+
+func TestStreamDesignRejectsUnknownFKs(t *testing.T) {
+	d := churn()
+	if _, err := d.StreamDesign(Plan{JoinFKs: []string{"Nope"}}, 8); err == nil {
+		t.Fatal("unknown join FK not rejected")
+	}
+	if _, err := d.StreamDesign(Plan{DropFKs: []string{"Nope"}}, 8); err == nil {
+		t.Fatal("unknown drop FK not rejected")
+	}
+}

@@ -1,0 +1,92 @@
+package nb
+
+import (
+	"fmt"
+
+	"hamlet/internal/dataset"
+)
+
+// Streaming sufficient statistics. StatsFromDataset (factorized.go) already
+// avoids the join for the JoinAll feature set by aggregating per-(FK, class)
+// counts through each attribute table — the strongest form of push-down, but
+// specific to plans that join everything and keep every column. This file
+// holds the general case: for *any* join plan, Naive Bayes sufficient
+// statistics are a fold over design rows, so they can be computed through
+// dataset.StreamDesign's chunked pipeline with O(chunk · features) peak
+// residency and no materialized design matrix. The result is bit-identical
+// to NewStats over Materialize(p) — counts are integers and accumulate in
+// the same row order — which the property tests in stream_test.go pin across
+// random schemas, plans, and chunk sizes.
+
+// StatsFromSource tabulates sufficient statistics for every feature of a
+// streaming design, consuming the source to exhaustion.
+func StatsFromSource(src *dataset.DesignSource) (*Stats, error) {
+	statsBuilds.Inc()
+	s := &Stats{
+		NumClasses:  src.NumClasses,
+		ClassCounts: make([]int, src.NumClasses),
+		Counts:      make([][]int, src.NumFeatures()),
+		Cards:       make([]int, src.NumFeatures()),
+	}
+	for f := range src.Features {
+		s.Cards[f] = src.Features[f].Card
+		s.Counts[f] = make([]int, src.NumClasses*src.Features[f].Card)
+	}
+	for {
+		ch, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("nb: streamed stats: %w", err)
+		}
+		if ch == nil {
+			break
+		}
+		s.N += ch.Rows
+		for i := 0; i < ch.Rows; i++ {
+			s.ClassCounts[ch.Y[i]]++
+		}
+		for f, col := range ch.Cols {
+			card := s.Cards[f]
+			tab := s.Counts[f]
+			y := ch.Y
+			for i := 0; i < ch.Rows; i++ {
+				tab[int(y[i])*card+int(col[i])]++
+			}
+		}
+	}
+	statsRowsHist.Observe(int64(s.N))
+	return s, nil
+}
+
+// StatsFromPlan tabulates Naive Bayes sufficient statistics for the given
+// join plan's feature set by streaming the design through the joins: no call
+// in this path materializes the denormalized matrix. Feature order matches
+// Dataset.Materialize(p). chunkSize bounds peak residency
+// (relational.DefaultChunkSize when <= 0).
+func StatsFromPlan(d *dataset.Dataset, p dataset.Plan, chunkSize int) (*Stats, error) {
+	src, err := d.StreamDesign(p, chunkSize)
+	if err != nil {
+		return nil, err
+	}
+	return StatsFromSource(src)
+}
+
+// FitStreamed trains a Naive Bayes model over the plan's full feature set
+// through the streaming pipeline — the any-plan generalization of
+// FitFactorized. The returned model predicts on design matrices
+// materialized with the same plan (the column layouts match by
+// construction).
+func (l *Learner) FitStreamed(d *dataset.Dataset, p dataset.Plan, chunkSize int) (*Model, error) {
+	s, err := StatsFromPlan(d, p, chunkSize)
+	if err != nil {
+		return nil, err
+	}
+	features := make([]int, len(s.Counts))
+	for i := range features {
+		features[i] = i
+	}
+	mod, err := ModelFromStats(s, features, l.Alpha)
+	if err != nil {
+		return nil, fmt.Errorf("nb: streamed fit: %w", err)
+	}
+	return mod, nil
+}

@@ -16,6 +16,7 @@ import (
 
 	"hamlet/internal/core"
 	"hamlet/internal/dataset"
+	"hamlet/internal/relational"
 	"hamlet/internal/synth"
 )
 
@@ -143,7 +144,7 @@ func (r *Registry) Keys() []Key {
 // under its own name, collecting its statistics. Scale and seed are recorded
 // as zero. Replaces any previous entry with the same name.
 func (r *Registry) Add(d *dataset.Dataset) (*Entry, error) {
-	stats, err := core.CollectStats(d)
+	stats, err := core.CollectStatsChunked(d, relational.DefaultChunkSize)
 	if err != nil {
 		return nil, fmt.Errorf("registry: collect stats for %q: %w", d.Name, err)
 	}
@@ -167,7 +168,11 @@ func build(name string, scale float64, seed uint64) (*Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("registry: generate %s: %w", name, err)
 	}
-	stats, err := core.CollectStats(d)
+	// The statistics scan goes through the chunked streaming path so the
+	// registry's one-time cost per dataset stays O(chunk) resident beyond
+	// the base tables themselves — the same ceiling the streamed
+	// sufficient-statistics consumers obey (internal/relational/stream.go).
+	stats, err := core.CollectStatsChunked(d, relational.DefaultChunkSize)
 	if err != nil {
 		return nil, fmt.Errorf("registry: collect stats for %s: %w", name, err)
 	}

@@ -1,0 +1,363 @@
+package relational
+
+import (
+	"fmt"
+
+	"hamlet/internal/obs"
+)
+
+// Streaming execution. The paper's thesis is that the denormalized join
+// output is redundant — every cell of a gathered attribute column is a copy
+// of one of n_R originals — yet the materializing Join operator pays for all
+// of them up front: O(n_S · d_R) memory per join. The operators in this file
+// execute the same relational plans over bounded windows instead: a
+// RowSource yields columnar chunks of at most chunkSize rows, StreamJoin
+// gathers foreign cells for one chunk at a time into reusable buffers, and
+// aggregations (sufficient statistics, FD checks, distinct counts) fold over
+// the chunks. Peak residency is O(chunkSize · width) regardless of n_S, so
+// plans that only need aggregates computed *through* the join never hold a
+// denormalized table at all.
+//
+// Equivalence contract: for any table pipeline, draining a streaming plan
+// with MaterializeSource yields a table bitwise-equal to the materializing
+// reference operators (Join, JoinAll), and the streaming aggregation
+// counterparts (HoldsFDSource, DistinctJointValuesSource, the NB
+// sufficient-statistics path in internal/ml/nb) return exactly what their
+// materialized originals return. Property tests in stream_test.go and the
+// FuzzStreamJoin target pin this across random schemas and chunk sizes.
+
+// DefaultChunkSize is the chunk row count used when a caller passes a
+// nonpositive size: 4096 rows × 4 bytes keeps a single gathered column
+// inside a typical L2 slice while amortizing per-chunk overhead to noise.
+const DefaultChunkSize = 4096
+
+// Streaming instrumentation, alongside the materializing join counters in
+// join.go: operators constructed, chunks emitted, and the distribution of
+// chunk row counts (its maximum is the peak rows resident in any streaming
+// operator, the streaming analogue of join_rows). Gathered cells are counted
+// into the shared relational.cells_gathered counter so the total gather work
+// of a workload is one number whichever execution style produced it.
+var (
+	streamJoins     = obs.C("relational.stream_joins")
+	streamChunks    = obs.C("relational.stream_chunks")
+	streamChunkRows = obs.H("relational.stream_chunk_rows")
+)
+
+// ColumnInfo is the schema entry of one RowSource output column: the name
+// and closed-domain cardinality, without any data.
+type ColumnInfo struct {
+	// Name is the column name, unique within a source's schema.
+	Name string
+	// Card is the domain size; codes are in [0, Card).
+	Card int
+}
+
+// Chunk is one columnar batch of rows. Cols holds one slice per schema
+// column, each of length Rows. Slices may be views into shared storage or
+// operator-owned buffers that the next call to Next overwrites — a consumer
+// that retains data past the next Next call must copy it.
+type Chunk struct {
+	// Cols holds the column vectors, in schema order.
+	Cols [][]int32
+	// Rows is the number of rows in this chunk.
+	Rows int
+}
+
+// RowSource is the chunk-iterator abstraction over relational data: a
+// resettable stream of columnar chunks with a fixed schema. It is the
+// streaming analogue of Table — TableSource adapts a Table, StreamJoin
+// composes a source with an attribute-table gather, and aggregation
+// consumers fold over the chunks without ever holding more than one.
+type RowSource interface {
+	// Schema returns the output columns in order. The returned slice must
+	// not be modified.
+	Schema() []ColumnInfo
+	// Next returns the next chunk, or nil when the source is exhausted.
+	// The chunk (and its column slices) is valid only until the next call
+	// to Next or Reset.
+	Next() (*Chunk, error)
+	// Reset rewinds the source to the beginning so it can be drained again.
+	Reset()
+}
+
+// tableSource streams an in-memory table in row-range chunks. Chunks are
+// zero-copy views into the table's column storage.
+type tableSource struct {
+	t         *Table
+	schema    []ColumnInfo
+	chunk     Chunk
+	pos       int
+	chunkSize int
+}
+
+// NewTableSource returns a RowSource scanning t in chunks of at most
+// chunkSize rows (DefaultChunkSize when chunkSize <= 0). The chunks are
+// subslice views: scanning allocates nothing per chunk.
+func NewTableSource(t *Table, chunkSize int) RowSource {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	cols := t.Columns()
+	schema := make([]ColumnInfo, len(cols))
+	for i, c := range cols {
+		schema[i] = ColumnInfo{Name: c.Name, Card: c.Card}
+	}
+	return &tableSource{
+		t:         t,
+		schema:    schema,
+		chunk:     Chunk{Cols: make([][]int32, len(cols))},
+		chunkSize: chunkSize,
+	}
+}
+
+func (s *tableSource) Schema() []ColumnInfo { return s.schema }
+
+func (s *tableSource) Reset() { s.pos = 0 }
+
+func (s *tableSource) Next() (*Chunk, error) {
+	n := s.t.NumRows()
+	if s.pos >= n || len(s.schema) == 0 {
+		return nil, nil
+	}
+	hi := s.pos + s.chunkSize
+	if hi > n {
+		hi = n
+	}
+	for i, c := range s.t.Columns() {
+		s.chunk.Cols[i] = c.Data[s.pos:hi]
+	}
+	s.chunk.Rows = hi - s.pos
+	s.pos = hi
+	streamChunks.Inc()
+	streamChunkRows.Observe(int64(s.chunk.Rows))
+	return &s.chunk, nil
+}
+
+// streamJoin lazily gathers one attribute table's feature columns through a
+// foreign key, chunk by chunk. Input columns pass through as views; the
+// gathered columns live in buffers of at most one chunk, reused across
+// chunks, so peak residency is O(chunkSize · d_R) instead of the
+// materializing Join's O(n_S · d_R).
+type streamJoin struct {
+	in       RowSource
+	r        *Table
+	fkIdx    int
+	schema   []ColumnInfo
+	gathered [][]int32
+	chunk    Chunk
+}
+
+// StreamJoin returns a RowSource computing the KFK equi-join of in with
+// attribute table r through the named FK column of in, without materializing
+// the result: each output chunk is the input chunk's columns followed by r's
+// feature columns gathered for just that chunk. The FK column is retained,
+// as in Join. The FK's declared cardinality must equal r's row count, column
+// names must not collide, and a RID outside r's rows surfaces as an error
+// from Next (the source cannot pre-scan data it has not seen yet).
+func StreamJoin(in RowSource, fkName string, r *Table) (RowSource, error) {
+	inSchema := in.Schema()
+	fkIdx := -1
+	for i, ci := range inSchema {
+		if ci.Name == fkName {
+			fkIdx = i
+			break
+		}
+	}
+	if fkIdx == -1 {
+		return nil, fmt.Errorf("relational: stream join: input has no FK column %q", fkName)
+	}
+	if inSchema[fkIdx].Card != r.NumRows() {
+		return nil, fmt.Errorf("relational: stream join: FK %q cardinality %d != %d rows of %q",
+			fkName, inSchema[fkIdx].Card, r.NumRows(), r.Name)
+	}
+	schema := make([]ColumnInfo, 0, len(inSchema)+r.NumCols())
+	schema = append(schema, inSchema...)
+	for _, rc := range r.Columns() {
+		for _, ci := range inSchema {
+			if ci.Name == rc.Name {
+				return nil, fmt.Errorf("relational: stream join: column %q exists on both sides", rc.Name)
+			}
+		}
+		schema = append(schema, ColumnInfo{Name: rc.Name, Card: rc.Card})
+	}
+	streamJoins.Inc()
+	return &streamJoin{
+		in:       in,
+		r:        r,
+		fkIdx:    fkIdx,
+		schema:   schema,
+		gathered: make([][]int32, r.NumCols()),
+		chunk:    Chunk{Cols: make([][]int32, len(schema))},
+	}, nil
+}
+
+func (j *streamJoin) Schema() []ColumnInfo { return j.schema }
+
+func (j *streamJoin) Reset() { j.in.Reset() }
+
+func (j *streamJoin) Next() (*Chunk, error) {
+	in, err := j.in.Next()
+	if err != nil || in == nil {
+		return nil, err
+	}
+	fk := in.Cols[j.fkIdx]
+	nR := j.r.NumRows()
+	for _, rid := range fk {
+		if rid < 0 || int(rid) >= nR {
+			return nil, fmt.Errorf("relational: stream join: RID %d not in %q [0,%d)", rid, j.r.Name, nR)
+		}
+	}
+	rCols := j.r.Columns()
+	for c, rc := range rCols {
+		buf := j.gathered[c]
+		if cap(buf) < in.Rows {
+			buf = make([]int32, in.Rows)
+		}
+		buf = buf[:in.Rows]
+		for i, rid := range fk {
+			buf[i] = rc.Data[rid]
+		}
+		j.gathered[c] = buf
+	}
+	copy(j.chunk.Cols, in.Cols)
+	copy(j.chunk.Cols[len(in.Cols):], j.gathered)
+	j.chunk.Rows = in.Rows
+	joinProbes.Add(int64(in.Rows))
+	joinCells.Add(int64(in.Rows) * int64(len(rCols)))
+	streamChunks.Inc()
+	streamChunkRows.Observe(int64(j.chunk.Rows))
+	return &j.chunk, nil
+}
+
+// StreamJoinAll composes StreamJoin over each foreign key in order, the
+// streaming counterpart of JoinAll: the resulting source's schema is the
+// input schema followed by each attribute table's columns in fks order.
+func StreamJoinAll(in RowSource, fks []ForeignKey, attrs map[string]*Table) (RowSource, error) {
+	cur := in
+	for _, fk := range fks {
+		r, ok := attrs[fk.Refs]
+		if !ok {
+			return nil, fmt.Errorf("relational: stream join: unknown attribute table %q", fk.Refs)
+		}
+		var err error
+		cur, err = StreamJoin(cur, fk.Column, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// MaterializeSource drains a RowSource into a Table. It is the bridge back
+// to the materialized world — reference output for equivalence tests and
+// small results — and deliberately costs the O(rows) memory that streaming
+// consumers avoid.
+func MaterializeSource(name string, src RowSource) (*Table, error) {
+	schema := src.Schema()
+	data := make([][]int32, len(schema))
+	for {
+		ch, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ch == nil {
+			break
+		}
+		for i := range schema {
+			data[i] = append(data[i], ch.Cols[i][:ch.Rows]...)
+		}
+	}
+	out := NewTable(name)
+	for i, ci := range schema {
+		if data[i] == nil {
+			data[i] = []int32{}
+		}
+		if err := out.AddColumn(&Column{Name: ci.Name, Card: ci.Card, Data: data[i]}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// schemaIndices resolves column names to schema positions.
+func schemaIndices(schema []ColumnInfo, names ...string) ([]int, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		idx[i] = -1
+		for j, ci := range schema {
+			if ci.Name == n {
+				idx[i] = j
+				break
+			}
+		}
+		if idx[i] == -1 {
+			return nil, fmt.Errorf("relational: no column %q in source schema", n)
+		}
+	}
+	return idx, nil
+}
+
+// HoldsFDSource is the streaming counterpart of HoldsFD: it reports whether
+// the functional dependency det → dep holds across every chunk of src. State
+// is one map entry per distinct det value — O(|D_det|), never O(rows) — so
+// the FD that a KFK join materializes (FK → X_R) can be verified through
+// StreamJoin without building the joined table.
+func HoldsFDSource(src RowSource, det, dep string) (bool, error) {
+	idx, err := schemaIndices(src.Schema(), det, dep)
+	if err != nil {
+		return false, fmt.Errorf("relational: FD check: %w", err)
+	}
+	seen := make(map[int32]int32)
+	for {
+		ch, err := src.Next()
+		if err != nil {
+			return false, err
+		}
+		if ch == nil {
+			return true, nil
+		}
+		d, e := ch.Cols[idx[0]], ch.Cols[idx[1]]
+		for i := 0; i < ch.Rows; i++ {
+			if v, ok := seen[d[i]]; ok {
+				if v != e[i] {
+					return false, nil
+				}
+			} else {
+				seen[d[i]] = e[i]
+			}
+		}
+	}
+}
+
+// DistinctJointValuesSource is the streaming counterpart of
+// DistinctJointValues: it counts the distinct joint values of the named
+// columns across every chunk of src. State is the distinct set itself
+// (exactly what the answer requires), with no materialized table behind it.
+func DistinctJointValuesSource(src RowSource, names ...string) (int, error) {
+	idx, err := schemaIndices(src.Schema(), names...)
+	if err != nil {
+		return 0, fmt.Errorf("relational: distinct: %w", err)
+	}
+	if len(idx) == 0 {
+		return 0, nil
+	}
+	seen := make(map[string]struct{})
+	key := make([]byte, 0, len(idx)*4)
+	for {
+		ch, err := src.Next()
+		if err != nil {
+			return 0, err
+		}
+		if ch == nil {
+			return len(seen), nil
+		}
+		for row := 0; row < ch.Rows; row++ {
+			key = key[:0]
+			for _, j := range idx {
+				v := ch.Cols[j][row]
+				key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			seen[string(key)] = struct{}{}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package relational
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// tablesEqual reports full bitwise equality: names, schema, and every cell.
+func tablesEqual(t *testing.T, want, got *Table) {
+	t.Helper()
+	if got.NumCols() != want.NumCols() || got.NumRows() != want.NumRows() {
+		t.Fatalf("shape mismatch: got %s, want %s", got, want)
+	}
+	for i, wc := range want.Columns() {
+		gc := got.Columns()[i]
+		if gc.Name != wc.Name || gc.Card != wc.Card {
+			t.Fatalf("column %d: got %s:%d, want %s:%d", i, gc.Name, gc.Card, wc.Name, wc.Card)
+		}
+		for r := range wc.Data {
+			if gc.Data[r] != wc.Data[r] {
+				t.Fatalf("column %q row %d: got %d, want %d", wc.Name, r, gc.Data[r], wc.Data[r])
+			}
+		}
+	}
+}
+
+// randTable builds a random table with the given prefix for column names.
+func randTable(rng *rand.Rand, name, prefix string, rows, cols int) *Table {
+	t := NewTable(name)
+	for j := 0; j < cols; j++ {
+		card := 1 + rng.Intn(12)
+		data := make([]int32, rows)
+		for i := range data {
+			data[i] = int32(rng.Intn(card))
+		}
+		t.MustAddColumn(&Column{Name: prefix + string(rune('A'+j)), Card: card, Data: data})
+	}
+	return t
+}
+
+// randJoinCase builds a random (entity, attribute) pair with a valid FK.
+func randJoinCase(rng *rand.Rand) (s, r *Table) {
+	nR := 1 + rng.Intn(40)
+	r = randTable(rng, "R", "r", nR, 1+rng.Intn(4))
+	nS := rng.Intn(150)
+	s = randTable(rng, "S", "s", nS, 1+rng.Intn(3))
+	fk := make([]int32, nS)
+	for i := range fk {
+		fk[i] = int32(rng.Intn(nR))
+	}
+	s.MustAddColumn(&Column{Name: "FK", Card: nR, Data: fk})
+	return s, r
+}
+
+var chunkSizes = []int{1, 2, 3, 7, 64, 1000, 0 /* -> DefaultChunkSize */}
+
+func TestTableSourceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		tab := randTable(rng, "T", "c", rng.Intn(200), 1+rng.Intn(4))
+		for _, cs := range chunkSizes {
+			got, err := MaterializeSource("T", NewTableSource(tab, cs))
+			if err != nil {
+				t.Fatalf("chunk %d: %v", cs, err)
+			}
+			tablesEqual(t, tab, got)
+		}
+	}
+}
+
+func TestTableSourceReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tab := randTable(rng, "T", "c", 50, 2)
+	src := NewTableSource(tab, 7)
+	first, err := MaterializeSource("T", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+	second, err := MaterializeSource("T", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, first, second)
+}
+
+// TestStreamJoinMatchesJoin is the core equivalence property: for random
+// schemas and chunk sizes, draining StreamJoin yields the same table as the
+// materializing Join, cell for cell.
+func TestStreamJoinMatchesJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		s, r := randJoinCase(rng)
+		want, err := Join(s, "FK", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cs := range chunkSizes {
+			src, err := StreamJoin(NewTableSource(s, cs), "FK", r)
+			if err != nil {
+				t.Fatalf("chunk %d: %v", cs, err)
+			}
+			got, err := MaterializeSource(want.Name, src)
+			if err != nil {
+				t.Fatalf("chunk %d: %v", cs, err)
+			}
+			tablesEqual(t, want, got)
+		}
+	}
+}
+
+// TestStreamJoinAllMatchesJoinAll pins the multi-hop composition: chained
+// streaming joins equal the chained materializing joins.
+func TestStreamJoinAllMatchesJoinAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		nR1, nR2 := 1+rng.Intn(20), 1+rng.Intn(20)
+		r1 := randTable(rng, "R1", "p", nR1, 1+rng.Intn(3))
+		r2 := randTable(rng, "R2", "q", nR2, 1+rng.Intn(3))
+		nS := rng.Intn(100)
+		s := randTable(rng, "S", "s", nS, 1)
+		fk1 := make([]int32, nS)
+		fk2 := make([]int32, nS)
+		for i := range fk1 {
+			fk1[i] = int32(rng.Intn(nR1))
+			fk2[i] = int32(rng.Intn(nR2))
+		}
+		s.MustAddColumn(&Column{Name: "FK1", Card: nR1, Data: fk1})
+		s.MustAddColumn(&Column{Name: "FK2", Card: nR2, Data: fk2})
+		fks := []ForeignKey{
+			{Column: "FK1", Refs: "R1", ClosedDomain: true},
+			{Column: "FK2", Refs: "R2", ClosedDomain: true},
+		}
+		attrs := map[string]*Table{"R1": r1, "R2": r2}
+		want, err := JoinAll(s, fks, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cs := range []int{1, 9, 1000} {
+			src, err := StreamJoinAll(NewTableSource(s, cs), fks, attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MaterializeSource(want.Name, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tablesEqual(t, want, got)
+		}
+	}
+}
+
+func TestStreamJoinErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, r := randJoinCase(rng)
+	if _, err := StreamJoin(NewTableSource(s, 8), "nope", r); err == nil {
+		t.Fatal("missing FK column not rejected")
+	}
+	// Cardinality mismatch.
+	bad := NewTable("R2")
+	bad.MustAddColumn(&Column{Name: "x", Card: 2, Data: make([]int32, r.NumRows()+1)})
+	if _, err := StreamJoin(NewTableSource(s, 8), "FK", bad); err == nil {
+		t.Fatal("FK cardinality mismatch not rejected")
+	}
+	// Name collision.
+	coll := NewTable("R3")
+	coll.MustAddColumn(&Column{Name: "FK", Card: 3, Data: make([]int32, s.Column("FK").Card)})
+	if _, err := StreamJoin(NewTableSource(s, 8), "FK", coll); err == nil {
+		t.Fatal("column-name collision not rejected")
+	}
+}
+
+func TestStreamJoinDanglingRID(t *testing.T) {
+	// A source whose FK codes exceed the attribute table's rows must fail
+	// from Next, not corrupt memory. Build it by declaring a card larger
+	// than the data ever uses, then handing StreamJoin a smaller r.
+	s := NewTable("S")
+	s.MustAddColumn(&Column{Name: "FK", Card: 5, Data: []int32{0, 4, 1}})
+	r := NewTable("R")
+	r.MustAddColumn(&Column{Name: "f", Card: 2, Data: []int32{0, 1, 1, 0, 1}})
+	src, err := StreamJoin(NewTableSource(s, 2), "FK", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink r's view after construction to simulate a dangling RID.
+	r.Column("f").Data = r.Column("f").Data[:3]
+	r.rows = 3
+	if _, err := MaterializeSource("J", src); err == nil || !strings.Contains(err.Error(), "RID") {
+		t.Fatalf("dangling RID not surfaced, err=%v", err)
+	}
+}
+
+func TestHoldsFDSourceMatchesHoldsFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		s, r := randJoinCase(rng)
+		joined, err := Join(s, "FK", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// FK → X_R must hold through the join; a random pair usually won't.
+		cases := [][2]string{{"FK", r.Columns()[0].Name}}
+		if s.NumCols() >= 2 {
+			cases = append(cases, [2]string{s.Columns()[0].Name, r.Columns()[0].Name})
+		}
+		for _, c := range cases {
+			want, err := HoldsFD(joined, c[0], c[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := StreamJoin(NewTableSource(s, 1+rng.Intn(40)), "FK", r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := HoldsFDSource(src, c[0], c[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("FD %s→%s: streamed %v, materialized %v", c[0], c[1], got, want)
+			}
+		}
+	}
+}
+
+func TestHoldsFDSourceMissingColumn(t *testing.T) {
+	tab := NewTable("T")
+	tab.MustAddColumn(&Column{Name: "a", Card: 2, Data: []int32{0, 1}})
+	if _, err := HoldsFDSource(NewTableSource(tab, 8), "a", "nope"); err == nil {
+		t.Fatal("missing dep column not rejected")
+	}
+}
+
+func TestDistinctJointValuesSourceMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		s, r := randJoinCase(rng)
+		joined, err := Join(s, "FK", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := []string{"FK"}
+		if r.NumCols() > 0 {
+			names = append(names, r.Columns()[0].Name)
+		}
+		want, err := DistinctJointValues(joined, names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := StreamJoin(NewTableSource(s, 1+rng.Intn(30)), "FK", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DistinctJointValuesSource(src, names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("distinct %v: streamed %d, materialized %d", names, got, want)
+		}
+	}
+}
+
+func TestDistinctJointValuesSourceEmptyNames(t *testing.T) {
+	tab := NewTable("T")
+	tab.MustAddColumn(&Column{Name: "a", Card: 2, Data: []int32{0, 1}})
+	got, err := DistinctJointValuesSource(NewTableSource(tab, 8))
+	if err != nil || got != 0 {
+		t.Fatalf("want 0 distinct over no columns, got %d err %v", got, err)
+	}
+}
+
+// TestStreamJoinAllocsPerChunk pins the O(chunk) allocation contract: once
+// the gather buffers exist, emitting more chunks must not allocate. The
+// allocation count of a full drain is therefore a small constant independent
+// of the row count — if Next ever allocates per chunk, the 100k-row drain
+// below (25 chunks) blows through the bound immediately.
+func TestStreamJoinAllocsPerChunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const nR, nS, dR = 100, 100000, 8
+	r := NewTable("R")
+	for j := 0; j < dR; j++ {
+		data := make([]int32, nR)
+		for i := range data {
+			data[i] = int32(rng.Intn(10))
+		}
+		r.MustAddColumn(&Column{Name: "f" + string(rune('a'+j)), Card: 10, Data: data})
+	}
+	s := NewTable("S")
+	fk := make([]int32, nS)
+	for i := range fk {
+		fk[i] = int32(rng.Intn(nR))
+	}
+	s.MustAddColumn(&Column{Name: "FK", Card: nR, Data: fk})
+	src, err := StreamJoin(NewTableSource(s, DefaultChunkSize), "FK", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink int32
+	allocs := testing.AllocsPerRun(5, func() {
+		src.Reset()
+		for {
+			ch, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ch == nil {
+				break
+			}
+			sink += ch.Cols[len(ch.Cols)-1][0]
+		}
+	})
+	_ = sink
+	if allocs > 4 {
+		t.Fatalf("drain of a warmed stream allocated %.0f times per run; chunks must reuse buffers", allocs)
+	}
+}

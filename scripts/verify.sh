@@ -13,8 +13,10 @@
 #      gate on one matrix leg so the race leg stays the long pole while
 #      the other legs finish fast)
 #   6. benchdiff smoke test against the committed fixture snapshots: a
-#      clean comparison must exit 0 and the injected >10% regression must
-#      exit 1, so the perf gate itself is gated.
+#      clean comparison must exit 0, the injected >10% time regression must
+#      exit 1, and the injected memory-only regression (B/op + allocs/op
+#      moved, ns/op flat) must also exit 1, so both halves of the perf gate
+#      are themselves gated.
 #   7. report smoke test against the committed run-dir fixtures: tables
 #      must render, the identical-run diff must exit 0, and the
 #      seeded-drift fixture must exit 1, so the accuracy gate itself is
@@ -67,6 +69,10 @@ echo "verify: benchdiff smoke" >&2
 go run ./cmd/benchdiff -q cmd/benchdiff/testdata/old.json cmd/benchdiff/testdata/new_ok.json >/dev/null
 if go run ./cmd/benchdiff -q cmd/benchdiff/testdata/old.json cmd/benchdiff/testdata/new_regressed.json >/dev/null 2>&1; then
     echo "verify: benchdiff failed to flag the fixture regression" >&2
+    exit 1
+fi
+if go run ./cmd/benchdiff -q cmd/benchdiff/testdata/old.json cmd/benchdiff/testdata/new_memregressed.json >/dev/null 2>&1; then
+    echo "verify: benchdiff failed to flag the fixture memory regression" >&2
     exit 1
 fi
 
