@@ -13,6 +13,12 @@
 //	advisord -addr 127.0.0.1:0 -addrfile a    # ephemeral port, resolved address in a
 //	advisord -out runs/adv                    # run artifacts: request-log events,
 //	                                          # metrics, histograms.json at shutdown
+//	advisord -trace-sample 0.01 -out runs/adv # distributed tracing: adopt/mint
+//	                                          # traceparent, tail-sample traces
+//	                                          # (errors + -slow always kept) into
+//	                                          # traces.jsonl
+//	advisord -slo-availability 0.999 \
+//	         -slo-latency-objective 1ms       # live error-budget burn on /metrics
 //
 // Endpoints (see internal/server for the schema):
 //
@@ -73,6 +79,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outDir    = fs.String("out", "", "write run artifacts (manifest, request-log events, metrics, trace, histograms.json) to this directory")
 		slow      = fs.Duration("slow", 10*time.Millisecond, "slow-request threshold: log + retain exemplars on /debug/slow (0 disables)")
 		window    = fs.Duration("window", obs.DefaultWindow, "rolling-metrics window length for /metrics rates and quantiles")
+		sample    = fs.Float64("trace-sample", 0, "distributed-trace head-sampling probability in [0,1] for requests arriving without a traceparent (0 = tracing off)")
+		traceCap  = fs.Float64("trace-cap", 100, "max kept traces per second (0 = uncapped); errors and -slow requests are always kept, within the cap")
+		sloAvail  = fs.Float64("slo-availability", 0, "availability SLO target in (0,1), e.g. 0.999; exposes the live error-budget burn rate on /metrics (0 disables)")
+		sloLatObj = fs.Duration("slo-latency-objective", 0, "latency SLO objective, e.g. 1ms (0 disables the latency burn gauge)")
+		sloLatTgt = fs.Float64("slo-latency-target", 0.99, "fraction of requests required within -slo-latency-objective")
 		prof      obs.ProfileFlags
 	)
 	prof.Register(fs)
@@ -105,6 +116,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "advisord: -window must be positive")
 		return 2
 	}
+	if *sample < 0 || *sample > 1 {
+		fmt.Fprintln(stderr, "advisord: -trace-sample must be in [0,1]")
+		return 2
+	}
+	if *sloAvail < 0 || *sloAvail >= 1 {
+		fmt.Fprintln(stderr, "advisord: -slo-availability must be in [0, 1), e.g. 0.999 (0 disables)")
+		return 2
+	}
+	if *sloLatTgt <= 0 || *sloLatTgt >= 1 {
+		fmt.Fprintln(stderr, "advisord: -slo-latency-target must be in (0, 1)")
+		return 2
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -124,16 +147,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	root := obs.StartSpan("advisord")
 
-	srv := server.New(server.Config{
-		Scale:     *scale,
-		Seed:      *seed,
-		Rule:      defRule,
-		Precision: *precision,
-		Events:    runDir.Events(),
-		Window:    *window,
-		Slow:      *slow,
-		SlowLog:   stderr,
-	})
+	cfg := server.Config{
+		Scale:               *scale,
+		Seed:                *seed,
+		Rule:                defRule,
+		Precision:           *precision,
+		Events:              runDir.Events(),
+		Window:              *window,
+		Slow:                *slow,
+		SlowLog:             stderr,
+		SLOAvailability:     *sloAvail,
+		SLOLatencyObjective: *sloLatObj,
+		SLOLatencyTarget:    *sloLatTgt,
+	}
+	// Tracing is an explicit opt-in via -trace-sample: a sampler built from
+	// the default flags alone would record spans for every request just to
+	// keep slow ones — fine, but not behind the operator's back. The -slow
+	// threshold doubles as the tail sampler's always-keep rule.
+	if *sample > 0 {
+		cfg.Sampler = obs.NewSampler(*sample, *traceCap, *slow)
+		cfg.Traces = runDir.Traces()
+	}
+	srv := server.New(cfg)
 
 	// Preload before listening: the addrfile appearing means the server is
 	// both reachable and ready, so scripts need only one wait.
@@ -209,6 +244,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reqs, errs := srv.Stats()
 	serve.Add("requests", reqs)
 	fmt.Fprintf(stdout, "advisord: served %d requests (%d errors)\n", reqs, errs)
+	if cfg.Sampler != nil {
+		fmt.Fprintf(stdout, "traces:   %d kept (sample %g, cap %g/s, slow %v)\n",
+			cfg.Traces.Len(), *sample, *traceCap, *slow)
+	}
 	hists := srv.Histograms()
 	if h := hists[server.LatencyHist]; h.Count > 0 {
 		fmt.Fprintf(stdout, "latency:  p50 %v  p90 %v  p99 %v  p99.9 %v  (min %v  max %v)\n",
@@ -216,12 +255,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			time.Duration(h.Quantile(0.99)), time.Duration(h.Quantile(0.999)),
 			time.Duration(h.Min), time.Duration(h.Max))
 	}
-	runDir.Events().Emit("advisord_summary",
+	sumAttrs := []slog.Attr{
 		slog.Int64("requests", reqs),
 		slog.Int64("errors", errs),
 		slog.Int64("p50_ns", hists[server.LatencyHist].Quantile(0.50)),
 		slog.Int64("p99_ns", hists[server.LatencyHist].Quantile(0.99)),
-	)
+	}
+	if cfg.Sampler != nil {
+		sumAttrs = append(sumAttrs, slog.Int64("traces_kept", cfg.Traces.Len()))
+	}
+	runDir.Events().Emit("advisord_summary", sumAttrs...)
 	if err := runDir.WriteHistograms(hists); err != nil {
 		fmt.Fprintf(stderr, "advisord: %v\n", err)
 		return 1

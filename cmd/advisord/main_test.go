@@ -52,6 +52,9 @@ func TestRunServesDrainsAndPersists(t *testing.T) {
 			"-datasets", "Walmart",
 			"-scale", "0.02",
 			"-slow", "1ns", // every request becomes a slow exemplar
+			"-trace-sample", "1",
+			"-slo-availability", "0.999",
+			"-slo-latency-objective", "100ms",
 			"-out", outDir,
 		}, &stdout, &stderr)
 	}()
@@ -98,6 +101,10 @@ func TestRunServesDrainsAndPersists(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || len(out.Results) != 2 {
 		t.Fatalf("decide status %d, %d results", resp.StatusCode, len(out.Results))
 	}
+	// Tracing is on: the response names the server's span context.
+	if _, err := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader)); err != nil {
+		t.Errorf("decide response traceparent: %v", err)
+	}
 
 	// The live telemetry surfaces answer while the daemon serves.
 	resp, err = http.Get(base + "/metrics")
@@ -109,7 +116,11 @@ func TestRunServesDrainsAndPersists(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/metrics = %d", resp.StatusCode)
 	}
-	for _, want := range []string{"advisord_requests_total", "advisord_request_latency_seconds", "advisord_ready 1"} {
+	for _, want := range []string{
+		"advisord_requests_total", "advisord_request_latency_seconds", "advisord_ready 1",
+		"advisord_build_info{", `advisord_slo_error_budget_burn{slo="availability"}`,
+		`advisord_slo_error_budget_burn{slo="latency"}`, "advisord_traces_total",
+	} {
 		if !bytes.Contains(metrics, []byte(want)) {
 			t.Errorf("/metrics missing %q:\n%s", want, metrics)
 		}
@@ -127,6 +138,11 @@ func TestRunServesDrainsAndPersists(t *testing.T) {
 	if slow.Total < 1 {
 		t.Errorf("-slow 1ns retained no exemplars: %+v", slow)
 	}
+	for _, sr := range slow.Slow {
+		if sr.TraceID == "" {
+			t.Errorf("slow exemplar %s carries no trace ID", sr.ID)
+		}
+	}
 
 	// The real signal: the daemon must drain and exit 0.
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
@@ -140,7 +156,7 @@ func TestRunServesDrainsAndPersists(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not exit after SIGTERM")
 	}
-	for _, want := range []string{"listening on", "served"} {
+	for _, want := range []string{"listening on", "served", "traces:"} {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
 		}
@@ -184,9 +200,20 @@ func TestRunServesDrainsAndPersists(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"msg":"http_request"`, `"msg":"advisord_summary"`, `"path":"/v1/decide"`} {
+	for _, want := range []string{`"msg":"http_request"`, `"msg":"advisord_summary"`, `"path":"/v1/decide"`, `"trace_id":"`, `"traces_kept":`} {
 		if !bytes.Contains(events, []byte(want)) {
 			t.Errorf("events.jsonl missing %s", want)
+		}
+	}
+	// Every request was slow (hence kept): the trace artifact holds server
+	// span trees.
+	traces, err := os.ReadFile(filepath.Join(outDir, obs.TracesFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind":"server"`, `"name":"server(decide)"`, `"trace_id":"`} {
+		if !bytes.Contains(traces, []byte(want)) {
+			t.Errorf("traces.jsonl missing %s:\n%s", want, traces)
 		}
 	}
 }
@@ -199,6 +226,10 @@ func TestRunUsageErrors(t *testing.T) {
 		{"-drain", "0s"},
 		{"-slow", "-1ms"},
 		{"-window", "0s"},
+		{"-trace-sample", "1.5"},
+		{"-trace-sample", "-0.1"},
+		{"-slo-availability", "1"},
+		{"-slo-latency-target", "0"},
 		{"-not-a-flag"},
 	}
 	for _, args := range cases {

@@ -14,6 +14,9 @@
 //	loadgen -mode analyze -duration 30s              # full Analyze pipeline per request
 //	loadgen -url http://127.0.0.1:8080 -duration 5s  # drive a running advisord
 //	loadgen -url ... -batch 100                      # 100 decisions per round trip
+//	loadgen -url ... -trace-sample 0.01 -out runs/lg # distributed tracing: inject
+//	                                                 # traceparent, keep 1% of traces
+//	                                                 # (plus errors/slow) in traces.jsonl
 //	loadgen -duration 2s -workers 8 -out runs/lg     # persist run artifacts, including
 //	                                                 # histograms.json for `report latency`
 //	loadgen -duration 2s -precision 9 -progress      # finer quantile error, live ETA
@@ -80,6 +83,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", 0, "concurrent request workers (0 = GOMAXPROCS)")
 		rate      = fs.Float64("rate", 0, "target total requests/sec (0 = unthrottled)")
 		precision = fs.Int("precision", obs.DefaultPrecision, "histogram sub-bucket bits; quantile error ≤ 2^-precision")
+		sample    = fs.Float64("trace-sample", 0, "distributed-trace head-sampling probability in [0,1] for -url mode (0 = tracing off)")
+		traceCap  = fs.Float64("trace-cap", 100, "max kept traces per second (0 = uncapped)")
+		traceSlow = fs.Duration("trace-slow", 0, "always keep traces for requests at or over this latency (0 = off)")
 		outDir    = fs.String("out", "", "write run artifacts (manifest, events, metrics, trace, histograms.json) to this directory")
 		progress  = fs.Bool("progress", false, "report live throughput/ETA to stderr")
 		prof      obs.ProfileFlags
@@ -98,6 +104,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *reqBatch < 1 {
 		fmt.Fprintln(stderr, "loadgen: -batch must be at least 1")
+		return 2
+	}
+	if *sample < 0 || *sample > 1 {
+		fmt.Fprintln(stderr, "loadgen: -trace-sample must be in [0,1]")
+		return 2
+	}
+	if (*sample > 0 || *traceSlow > 0) && *url == "" {
+		fmt.Fprintln(stderr, "loadgen: tracing (-trace-sample/-trace-slow) requires -url (traces cross the HTTP boundary)")
 		return 2
 	}
 
@@ -151,6 +165,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	root := obs.StartSpan("loadgen")
 
+	// Tracing (HTTP mode): every request gets a trace context and a client
+	// span; the tail sampler decides which land in traces.jsonl. The same
+	// trace ID reaches the server via traceparent, so a kept trace has both
+	// halves — the client span (includes queue + transport) and the server
+	// span tree nested inside it.
+	var sampler *obs.Sampler
+	if *sample > 0 || *traceSlow > 0 {
+		sampler = obs.NewSampler(*sample, *traceCap, *traceSlow)
+	}
+	traces := runDir.Traces()
+
 	nWorkers := pool.Workers(*workers)
 
 	// Warm the transport before the clock starts. In-process runs pay
@@ -202,7 +227,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				_ = runDir.Close(root, err)
 				return 1
 			}
-			status, perr := httpDecide(client, decideURL, "loadgen-warmup-"+n, bodies[i])
+			status, perr := httpDecide(client, decideURL, "loadgen-warmup-"+n, "", bodies[i])
 			if perr != nil {
 				// No transport at all is a harness failure, not a measurement.
 				setup.End()
@@ -277,19 +302,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 			d := i % len(names)
 			start := time.Now()
 			if client != nil {
+				id := "loadgen-" + strconv.Itoa(w) + "-" + strconv.Itoa(i)
+				var tc obs.TraceContext
+				var hdr string
+				var sp *obs.Span
+				if sampler != nil {
+					tc = obs.NewTraceContext()
+					tc = tc.WithSampled(sampler.Sampled(tc))
+					hdr = tc.Traceparent()
+					sp = obs.StartSpan("client(decide)")
+				}
 				// HTTP errors are measurements, not harness failures: count
 				// them and keep driving. Only 2xx round trips enter the
 				// latency histogram — an error's timing measures the failure
 				// path, not the service.
-				status, herr := httpDecide(client, decideURL,
-					"loadgen-"+strconv.Itoa(w)+"-"+strconv.Itoa(i), bodies[d])
+				status, herr := httpDecide(client, decideURL, id, hdr, bodies[d])
+				sp.End()
+				elapsed := time.Since(start)
 				switch {
 				case herr != nil:
 					errShards[w].transport++
 				case status < 200 || status >= 300:
 					errShards[w].non2xx++
 				default:
-					shards[w][d].Observe(time.Since(start).Nanoseconds())
+					shards[w][d].Observe(elapsed.Nanoseconds())
+				}
+				isErr := herr != nil || status < 200 || status >= 300
+				if sampler.Keep(tc.Sampled(), elapsed, isErr) {
+					// Append errors are telemetry loss, not a failed run.
+					_ = traces.Append(obs.TraceRecord{
+						TraceID:   tc.TraceIDString(),
+						SpanID:    tc.SpanIDString(),
+						Kind:      obs.TraceKindClient,
+						RequestID: id,
+						Span:      sp,
+					})
 				}
 			} else {
 				e := entries[d]
@@ -368,6 +415,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *url != "" {
 		fmt.Fprintf(stdout, "errors:   %d (%d non-2xx, %d transport)\n", nErrors, non2xx, transport)
 	}
+	if sampler != nil {
+		fmt.Fprintf(stdout, "traces:   %d kept (sample %g, cap %g/s, slow %v)\n",
+			traces.Len(), *sample, *traceCap, *traceSlow)
+	}
 	fmt.Fprintf(stdout, "latency:  p50 %v  p90 %v  p99 %v  p99.9 %v  (min %v  mean %v  max %v)\n",
 		ns(total.Quantile(0.50)), ns(total.Quantile(0.90)), ns(total.Quantile(0.99)), ns(total.Quantile(0.999)),
 		ns(total.Min), ns(int64(total.Mean())), ns(total.Max))
@@ -391,6 +442,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		)
 		obs.C("loadgen.errors_non2xx").Add(non2xx)
 		obs.C("loadgen.errors_transport").Add(transport)
+	}
+	if sampler != nil {
+		attrs = append(attrs, slog.Int64("traces_kept", traces.Len()))
+		obs.C("loadgen.traces_kept").Add(traces.Len())
 	}
 	runDir.Events().Emit("loadgen_summary", attrs...)
 	if err := runDir.WriteHistograms(hists); err != nil {
@@ -419,14 +474,18 @@ func ns(v int64) time.Duration { return time.Duration(v) }
 // error is a transport failure; otherwise the status code is the verdict.
 // The id travels as X-Request-ID, so a slow-request exemplar or request-log
 // line on the server names the exact loadgen worker and iteration that sent
-// it (and the server skips minting its own).
-func httpDecide(client *http.Client, url, id string, body []byte) (int, error) {
+// it (and the server skips minting its own). A non-empty traceparent rides
+// along, making the server's span tree part of this request's trace.
+func httpDecide(client *http.Client, url, id, traceparent string, body []byte) (int, error) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(server.RequestIDHeader, id)
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err

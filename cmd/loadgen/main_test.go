@@ -244,12 +244,140 @@ func TestRunUsageErrors(t *testing.T) {
 		{"-mode", "analyze", "-method", "nope"},
 		{"-url", "http://localhost:1", "-mode", "analyze"},
 		{"-url", "http://localhost:1", "-batch", "0"},
+		{"-trace-sample", "0.5"}, // tracing without -url
+		{"-trace-slow", "1ms"},   // tracing without -url
+		{"-url", "http://localhost:1", "-trace-sample", "1.5"},
 		{"-not-a-flag"},
 	}
 	for _, args := range cases {
 		if code, _, _ := drive(t, args...); code != 2 {
 			t.Errorf("args %v: exit = %d, want 2", args, code)
 		}
+	}
+}
+
+// readTraceLines decodes a run dir's traces.jsonl (nil when absent).
+func readTraceLines(t *testing.T, dir string) []obs.TraceRecord {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, obs.TracesFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []obs.TraceRecord
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec obs.TraceRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad traces.jsonl line %s: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// TestRunHTTPModeTracing is the cross-process contract end to end: with
+// tracing on both sides, a sampled request's trace ID appears in the client
+// run dir AND the server run dir, client half pointing at the server half.
+func TestRunHTTPModeTracing(t *testing.T) {
+	srvDir := filepath.Join(t.TempDir(), "srv")
+	srvRun, err := obs.OpenRunDir(srvDir, &obs.RunInfo{Tool: "test-server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{
+		Scale:   0.02,
+		Seed:    1,
+		Sampler: obs.NewSampler(1, 0, 0),
+		Traces:  srvRun.Traces(),
+	})
+	if err := s.Preload("Walmart"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	dir := filepath.Join(t.TempDir(), "run")
+	code, out, errOut := drive(t,
+		"-url", ts.URL, "-duration", "100ms", "-workers", "2",
+		"-trace-sample", "1", "-trace-cap", "0",
+		"-scale", "0.02", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "traces:") {
+		t.Errorf("summary missing the traces line:\n%s", out)
+	}
+
+	clientRecs := readTraceLines(t, dir)
+	if len(clientRecs) == 0 {
+		t.Fatal("client kept no traces at -trace-sample 1")
+	}
+	serverRecs := readTraceLines(t, srvDir)
+	if len(serverRecs) == 0 {
+		t.Fatal("server kept no traces for sampled inbound requests")
+	}
+	// Index the server half by trace ID; every client record's ID must have
+	// a server record whose parent is the client's span.
+	srvByTrace := make(map[string]obs.TraceRecord, len(serverRecs))
+	for _, rec := range serverRecs {
+		if rec.Kind != obs.TraceKindServer {
+			t.Fatalf("server record kind %q", rec.Kind)
+		}
+		srvByTrace[rec.TraceID] = rec
+	}
+	joined := 0
+	for _, rec := range clientRecs {
+		if rec.Kind != obs.TraceKindClient {
+			t.Fatalf("client record kind %q", rec.Kind)
+		}
+		srec, ok := srvByTrace[rec.TraceID]
+		if !ok {
+			continue
+		}
+		joined++
+		if srec.ParentSpanID != rec.SpanID {
+			t.Fatalf("trace %s: server parent %s, client span %s", rec.TraceID, srec.ParentSpanID, rec.SpanID)
+		}
+		if srec.RequestID != rec.RequestID {
+			t.Errorf("trace %s: request IDs diverge (%q vs %q)", rec.TraceID, srec.RequestID, rec.RequestID)
+		}
+	}
+	if joined == 0 {
+		t.Fatal("no trace ID appears in both run dirs")
+	}
+}
+
+// TestRunTraceRateCapRespected: at -trace-sample 1 with a tight cap, kept
+// traces stay bounded by cap·(duration+burst) even though thousands of
+// requests are all head-sampled.
+func TestRunTraceRateCapRespected(t *testing.T) {
+	s := server.New(server.Config{Scale: 0.02, Seed: 1})
+	if err := s.Preload("Walmart"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	dir := filepath.Join(t.TempDir(), "run")
+	const capPerSec = 10.0
+	code, _, errOut := drive(t,
+		"-url", ts.URL, "-duration", "200ms", "-workers", "4",
+		"-trace-sample", "1", "-trace-cap", "10",
+		"-scale", "0.02", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	recs := readTraceLines(t, dir)
+	// Budget: one-second burst (= the cap) plus refill over the 0.2s run,
+	// with slack for scheduling. Anything near the request count means the
+	// cap did nothing.
+	if n := len(recs); n == 0 || float64(n) > 3*capPerSec {
+		t.Errorf("kept %d traces under a %g/s cap in 200ms, want (0, %g]", n, capPerSec, 3*capPerSec)
 	}
 }
 

@@ -18,15 +18,22 @@
 //	report trace -top 10 <rundir>
 //	report trace -folded <rundir>             # folded stacks for
 //	                                          # flamegraph.pl / speedscope
+//	report trace <client-rundir> <server-rundir>  # cross-process assembly:
+//	                                          # join sampled traces.jsonl
+//	                                          # halves by W3C trace ID and
+//	                                          # render the merged trees
 //	report latency <rundir>                   # quantile tables from a
 //	                                          # loadgen run's histograms.json
 //	report latency -format csv <rundir>       # ...as csv or json rows
 //	report latency <base-rundir> <new-rundir> # latdiff: gate on a quantile
 //	                                          # regression between two runs
 //	report latency -quantile 0.999 -tol 0.25 base new
+//	report slo -availability 0.999 <rundir>   # SLO compliance + error budget
+//	report slo -latency-objective 100ms -latency-target 0.99 <rundir>
 //	report watch http://127.0.0.1:8080        # live rate/p50/p99 view from a
 //	                                          # running advisord's /metrics
 //	report watch -count 30 -p99-budget 5ms http://...  # served-latency gate
+//	report watch -format json http://...      # one JSON object per poll
 //
 // `report diff` and `report latency base new` mirror cmd/benchdiff's
 // exit-status convention (see internal/exitcode): 0 when the runs agree
@@ -83,6 +90,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runTrace(args[1:], stdout, stderr)
 	case "latency":
 		return runLatency(args[1:], stdout, stderr)
+	case "slo":
+		return runSLO(args[1:], stdout, stderr)
 	case "watch":
 		return runWatch(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
@@ -106,15 +115,26 @@ subcommands:
   trace   <rundir>          profile the span tree: per-path total/self time,
                             hot path, counter rollups, worker utilization
                             (-folded emits flamegraph.pl/speedscope stacks)
+  trace   <client> <server> cross-process assembly: join the two runs'
+                            sampled traces.jsonl by W3C trace ID and render
+                            the merged client+server trees with skew and
+                            net+queue time
   latency <rundir>          quantile tables from a loadgen run's histograms
                             (-format text|csv|json)
   latency <base> <new>      gate a latency quantile between two loadgen runs
                             (-quantile Q -tol T; exit codes as diff)
+  slo     <rundir>          SLO compliance and error-budget burn from a
+                            run's telemetry (-availability T,
+                            -latency-objective D -latency-target T;
+                            multi-window 5m/1h burn rates when the run has
+                            per-request events; exit 1 when a budget is
+                            exhausted, 3 when no SLI could be computed)
   watch   <url|rundir>      live rate/p50/p99 view polled from an advisord
                             /metrics endpoint or a run directory
-                            (-interval D -count N -p99-budget D -k K;
-                            exit 1 when the budget breaches K consecutive
-                            polls, 3 when every poll fails)
+                            (-interval D -count N -p99-budget D -k K
+                            -format text|json; exit 1 when the budget
+                            breaches K consecutive polls, 3 when every poll
+                            fails)
 `)
 }
 
@@ -253,9 +273,16 @@ func runTrace(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	top := fs.Int("top", 15, "show the top N paths by self time (0 = all)")
 	folded := fs.Bool("folded", false, "emit folded stacks (path;path;leaf self_µs) for flamegraph.pl or speedscope instead of the profile")
-	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: report trace [-top N] [-folded] <rundir>")
+	if err := fs.Parse(args); err != nil || fs.NArg() < 1 || fs.NArg() > 2 {
+		fmt.Fprintln(stderr, "usage: report trace [-top N] [-folded] <rundir> [<server-rundir>]")
 		return exitcode.Usage
+	}
+	if fs.NArg() == 2 {
+		if *folded {
+			fmt.Fprintln(stderr, "report: -folded applies to the single-run profile, not the cross-process assembly")
+			return exitcode.Usage
+		}
+		return runTraceAssembly(fs.Arg(0), fs.Arg(1), stdout, stderr)
 	}
 	r, code := loadRun(fs.Arg(0), stderr)
 	if code != exitcode.OK {
@@ -319,6 +346,72 @@ func runTrace(args []string, stdout, stderr io.Writer) int {
 			p.Util.Avg, p.Util.BusyMS, p.Util.WallMS, p.Util.Peak, p.Util.Leaves)
 	}
 	return exitcode.OK
+}
+
+// runTraceAssembly joins two runs' sampled traces.jsonl halves by trace ID
+// — typically a loadgen client dir and the advisord server dir it drove —
+// and renders the merged cross-process trees.
+func runTraceAssembly(clientDir, serverDir string, stdout, stderr io.Writer) int {
+	client, code := loadRun(clientDir, stderr)
+	if code != exitcode.OK {
+		return code
+	}
+	server, code := loadRun(serverDir, stderr)
+	if code != exitcode.OK {
+		return code
+	}
+	asm := report.AssembleTraces(client, server)
+	if err := asm.Write(stdout); err != nil {
+		// Both runs loaded but neither kept a sampled trace: nothing to
+		// assemble is vacuous, not a usage mistake.
+		fmt.Fprintf(stderr, "%v\n", err)
+		return exitcode.Vacuous
+	}
+	return exitcode.OK
+}
+
+// runSLO evaluates SLO compliance and error-budget burn for one run dir.
+func runSLO(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report slo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	avail := fs.Float64("availability", 0, "availability target in [0,1) (0.999 = three nines; 0 = skip)")
+	latObj := fs.Duration("latency-objective", 0, "latency objective the latency SLO bounds (0 = skip)")
+	latTgt := fs.Float64("latency-target", 0.99, "fraction of requests that must meet -latency-objective")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: report slo [-availability T] [-latency-objective D] [-latency-target T] <rundir>")
+		return exitcode.Usage
+	}
+	if *avail < 0 || *avail >= 1 {
+		fmt.Fprintln(stderr, "report: -availability must be in [0, 1)")
+		return exitcode.Usage
+	}
+	if *latTgt <= 0 || *latTgt >= 1 {
+		fmt.Fprintln(stderr, "report: -latency-target must be in (0, 1)")
+		return exitcode.Usage
+	}
+	if *avail == 0 && *latObj == 0 {
+		fmt.Fprintln(stderr, "report: configure at least one SLO (-availability and/or -latency-objective)")
+		return exitcode.Usage
+	}
+	r, code := loadRun(fs.Arg(0), stderr)
+	if code != exitcode.OK {
+		return code
+	}
+	rep := r.SLO(report.SLOOptions{
+		Availability:     *avail,
+		LatencyObjective: *latObj,
+		LatencyTarget:    *latTgt,
+	})
+	rep.Write(stdout, fs.Arg(0))
+	switch {
+	case rep.Vacuous():
+		fmt.Fprintf(stderr, "report: %s carries no telemetry for the configured SLOs; nothing to gate\n", fs.Arg(0))
+		return exitcode.Vacuous
+	case rep.Exhausted():
+		return exitcode.Failed
+	default:
+		return exitcode.OK
+	}
 }
 
 // runLatency renders one loadgen run's quantile tables, or gates a latency
@@ -412,12 +505,17 @@ func runWatch(args []string, stdout, stderr io.Writer) int {
 	count := fs.Int("count", 0, "number of polls (0 = watch until interrupted, or until the budget breaches)")
 	budget := fs.Duration("p99-budget", 0, "fail when the served p99 exceeds this for -k consecutive polls (0 = no gate)")
 	k := fs.Int("k", report.DefaultBreachPolls, "consecutive over-budget polls that trip the gate")
+	format := fs.String("format", "text", "output format: text, or json (one object per poll plus a summary object)")
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: report watch [-interval D] [-count N] [-p99-budget D] [-k K] <url|rundir>")
+		fmt.Fprintln(stderr, "usage: report watch [-interval D] [-count N] [-p99-budget D] [-k K] [-format text|json] <url|rundir>")
 		return exitcode.Usage
 	}
 	if *k <= 0 {
 		fmt.Fprintln(stderr, "report: -k must be positive")
+		return exitcode.Usage
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "report: unknown -format %q (want text or json)\n", *format)
 		return exitcode.Usage
 	}
 	target := fs.Arg(0)
@@ -437,6 +535,7 @@ func runWatch(args []string, stdout, stderr io.Writer) int {
 		Polls:       *count,
 		P99Budget:   *budget,
 		BreachPolls: *k,
+		Format:      *format,
 	})
 	switch {
 	case res.Breached:

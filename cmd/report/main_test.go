@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -319,5 +320,124 @@ func TestHelpExitsClean(t *testing.T) {
 	code, _, errOut := drive(t, "help")
 	if code != exitcode.OK || !strings.Contains(errOut, "subcommands") {
 		t.Errorf("help: exit %d, stderr %s", code, errOut)
+	}
+}
+
+// tracedRunDir writes a run dir holding one traces.jsonl record.
+func tracedRunDir(t *testing.T, record string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"manifest.json": `{"schema_version":1,"tool":"test"}`,
+		"traces.jsonl":  record + "\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestTraceCrossProcess: the two-dir trace mode joins a client and a server
+// run by trace ID and renders the merged tree.
+func TestTraceCrossProcess(t *testing.T) {
+	clientDir := tracedRunDir(t, `{"v":1,"trace_id":"0af7651916cd43dd8448eb211c80319c","span_id":"b7ad6b7169203331","kind":"client","request_id":"r-9","span":{"name":"client(decide)","start":"2026-08-08T12:00:00Z","duration_ms":5}}`)
+	serverDir := tracedRunDir(t, `{"v":1,"trace_id":"0af7651916cd43dd8448eb211c80319c","span_id":"00f067aa0ba902b7","parent_span_id":"b7ad6b7169203331","kind":"server","request_id":"r-9","span":{"name":"server(decide)","start":"2026-08-08T12:00:00.001Z","duration_ms":3.5,"children":[{"name":"decode","start":"2026-08-08T12:00:00.001Z","duration_ms":0.1}]}}`)
+	code, out, errOut := drive(t, "trace", clientDir, serverDir)
+	if code != exitcode.OK {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"1 complete", "trace 0af7651916cd43dd8448eb211c80319c (request r-9)",
+		"client(decide)", "server(decide)", "[server]", "net+queue 1.50ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cross-process trace missing %q:\n%s", want, out)
+		}
+	}
+	// The server tree must be nested under the client span.
+	ci := strings.Index(out, "client(decide)")
+	si := strings.Index(out, "server(decide)")
+	if ci < 0 || si < ci {
+		t.Errorf("server span not rendered under the client span:\n%s", out)
+	}
+
+	// Two traceless runs: vacuous, not a pass.
+	code, _, errOut = drive(t, "trace", fixture(t, "base"), fixture(t, "base"))
+	if code != exitcode.Vacuous || !strings.Contains(errOut, "no sampled traces") {
+		t.Errorf("traceless assembly: exit %d, stderr %s", code, errOut)
+	}
+
+	// -folded is a single-run flag.
+	if code, _, _ := drive(t, "trace", "-folded", clientDir, serverDir); code != exitcode.Usage {
+		t.Errorf("-folded with two dirs: exit %d, want %d", code, exitcode.Usage)
+	}
+}
+
+func TestSLOExitCodes(t *testing.T) {
+	// The served_base fixture (histograms only) meets a 5ms objective and
+	// busts a 2µs one; with no latency SLO configured it is vacuous.
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"generous objective passes", []string{"slo", "-latency-objective", "5ms", "served_base"}, exitcode.OK},
+		{"tight objective exhausts", []string{"slo", "-latency-objective", "2us", "served_base"}, exitcode.Failed},
+		{"availability-only has no data", []string{"slo", "-availability", "0.999", "served_base"}, exitcode.Vacuous},
+		{"missing run dir", []string{"slo", "-latency-objective", "5ms", "missing"}, exitcode.Vacuous},
+		{"no SLO configured", []string{"slo", "served_base"}, exitcode.Usage},
+		{"bad availability", []string{"slo", "-availability", "1", "served_base"}, exitcode.Usage},
+		{"bad latency target", []string{"slo", "-latency-objective", "5ms", "-latency-target", "1", "served_base"}, exitcode.Usage},
+	}
+	if code, _, _ := drive(t, "slo", "-availability", "0.999"); code != exitcode.Usage {
+		t.Errorf("slo with no rundir: exit %d, want %d", code, exitcode.Usage)
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			full := append([]string{}, c.args...)
+			full[len(full)-1] = fixture(t, full[len(full)-1])
+			code, out, errOut := drive(t, full...)
+			if code != c.want {
+				t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, c.want, out, errOut)
+			}
+		})
+	}
+
+	code, out, _ := drive(t, "slo", "-latency-objective", "5ms", fixture(t, "served_base"))
+	if code != exitcode.OK {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"latency: target 99% under 5ms", "100000 requests", "within budget", "histograms.json"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWatchJSONFormat: -format json emits JSONL a machine can consume.
+func TestWatchJSONFormat(t *testing.T) {
+	code, out, errOut := drive(t, "watch", "-count", "2", "-interval", "0s", "-format", "json", fixture(t, "latency_base"))
+	if code != exitcode.OK {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("emitted %d lines, want 2 polls + summary:\n%s", len(lines), out)
+	}
+	var sum struct {
+		Summary  bool  `json:"summary"`
+		Polls    int   `json:"polls"`
+		Requests int64 `json:"requests"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &sum); err != nil {
+		t.Fatalf("summary line %q: %v", lines[2], err)
+	}
+	if !sum.Summary || sum.Polls != 2 || sum.Requests != 100_000 {
+		t.Errorf("summary = %+v", sum)
+	}
+
+	if code, _, _ := drive(t, "watch", "-format", "yaml", fixture(t, "latency_base")); code != exitcode.Usage {
+		t.Errorf("-format yaml: exit %d, want %d", code, exitcode.Usage)
 	}
 }

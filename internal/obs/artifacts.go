@@ -26,6 +26,10 @@ const (
 	// HistogramsFile holds named latency histogram snapshots (loadgen),
 	// written at close. Optional: readers must load run dirs without it.
 	HistogramsFile = "histograms.json"
+	// TracesFile is the sampled distributed-trace stream (one TraceRecord
+	// per line), appended as the tail sampler keeps traces. Optional, like
+	// every post-v1 artifact.
+	TracesFile = "traces.jsonl"
 )
 
 // HistogramsArtifact is the histograms.json payload: named histogram
@@ -47,6 +51,7 @@ type RunDir struct {
 	events  *EventLog
 	eventsF *os.File
 	results *os.File
+	traces  *TraceLog
 }
 
 // OpenRunDir creates dir (and parents), writes manifest.json from info, and
@@ -70,6 +75,7 @@ func OpenRunDir(dir string, info *RunInfo) (*RunDir, error) {
 		return nil, fmt.Errorf("obs: create %s: %w", EventsFile, err)
 	}
 	r := &RunDir{dir: dir, info: info, events: NewEventLog(f), eventsF: f}
+	r.traces = &TraceLog{path: filepath.Join(dir, TracesFile)}
 	r.events.RunStart(info)
 	return r, nil
 }
@@ -88,6 +94,15 @@ func (r *RunDir) Events() *EventLog {
 		return nil
 	}
 	return r.events
+}
+
+// Traces returns the run's sampled-trace log (nil on nil, which itself
+// no-ops). The traces.jsonl file is only created once a trace is kept.
+func (r *RunDir) Traces() *TraceLog {
+	if r == nil {
+		return nil
+	}
+	return r.traces
 }
 
 // AppendResult marshals v onto one line of results.jsonl, creating the file
@@ -149,6 +164,9 @@ func (r *RunDir) Close(root *Span, runErr error) error {
 		if err := r.results.Close(); err != nil {
 			errs = append(errs, err)
 		}
+	}
+	if err := r.traces.close(); err != nil {
+		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
 }

@@ -215,6 +215,28 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 	return s.Max
 }
 
+// CountAtOrBelow returns the number of observations known to be ≤ v: the
+// total over buckets whose inclusive upper bound is ≤ v. Observations in
+// the bucket straddling v are excluded, so the count never overstates —
+// used as the "good events" side of a latency SLI, it is conservative by at
+// most one bucket (a relative-2^-Precision sliver of the threshold).
+func (s HistogramSnapshot) CountAtOrBelow(v int64) int64 {
+	if v < 0 || s.Count == 0 {
+		return 0
+	}
+	if v >= s.Max {
+		return s.Count
+	}
+	var n int64
+	p := uint(s.Precision)
+	for i, c := range s.Buckets {
+		if bucketUpper(i, p) <= v {
+			n += c
+		}
+	}
+	return n
+}
+
 // Mean returns the exact mean of the observations (0 on empty).
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {

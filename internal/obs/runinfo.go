@@ -81,3 +81,22 @@ func CollectRunInfo(tool string, fs *flag.FlagSet) *RunInfo {
 	}
 	return info
 }
+
+// BuildIdentity returns the binary's module version and VCS commit from the
+// same debug.ReadBuildInfo source as RunInfo manifests — the label values
+// for a build_info metric. Unstamped builds (e.g. go test binaries) report
+// "devel"/"unknown" so the labels are never empty.
+func BuildIdentity() (version, commit string) {
+	version, commit = "devel", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			version = v
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				commit = s.Value
+			}
+		}
+	}
+	return version, commit
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Sampler is the tail-based trace sampling policy: the decision of which
+// request traces are worth persisting, made at request *end*, when the
+// outcome is known. The policy is the paper's own argument applied to
+// telemetry — avoid work you can prove you don't need:
+//
+//   - errors are always kept: they are the traces that explain incidents;
+//   - requests at or over the slow threshold are always kept: they are the
+//     traces that explain the p99;
+//   - everything else is head-sampled at a configured probability, decided
+//     deterministically from the trace ID so every process on a request's
+//     path keeps the same traces without coordination (the W3C sampled
+//     flag carries the same decision explicitly);
+//   - a token-bucket rate cap bounds total kept traces per second, so a
+//     2.2M req/s happy path — or an error storm — can never turn the trace
+//     log into the bottleneck it is meant to diagnose.
+//
+// The package's zero-cost rules hold: a nil *Sampler no-ops (tracing
+// disabled), and both the nil and enabled paths are allocation-free
+// (pinned by AllocsPerRun tests).
+type Sampler struct {
+	// threshold is the head-sampling cut: keep when the trace ID's 64
+	// uniform bits are below it.
+	threshold uint64
+	slowNS    int64
+	// Token bucket, guarded by mu. ratePerNS is tokens regained per
+	// nanosecond; burst is the bucket capacity. ratePerNS <= 0 disables the
+	// cap.
+	mu        sync.Mutex
+	tokens    float64
+	last      int64
+	ratePerNS float64
+	burst     float64
+	nowNS     func() int64
+}
+
+// NewSampler builds a sampling policy.
+//
+//   - prob is the head-sampling probability in [0, 1] for requests that are
+//     neither errors nor slow;
+//   - maxPerSec caps kept traces per second across all keep reasons
+//     (<= 0 = uncapped);
+//   - slow is the always-keep latency threshold (<= 0 disables the slow
+//     rule).
+func NewSampler(prob float64, maxPerSec float64, slow time.Duration) *Sampler {
+	s := &Sampler{
+		slowNS: int64(slow),
+		nowNS:  func() int64 { return time.Now().UnixNano() },
+	}
+	switch {
+	case prob >= 1:
+		s.threshold = math.MaxUint64
+	case prob > 0:
+		s.threshold = uint64(prob * float64(1<<63) * 2)
+	}
+	if maxPerSec > 0 {
+		s.ratePerNS = maxPerSec / float64(time.Second)
+		// A full second of burst (at least one trace) keeps short runs and
+		// cold starts from dropping everything while staying within the cap
+		// on any window longer than a second.
+		s.burst = math.Max(maxPerSec, 1)
+		s.tokens = s.burst
+		s.last = s.nowNS()
+	}
+	return s
+}
+
+// Sampled is the head decision for a fresh trace: a deterministic function
+// of the trace ID and the configured probability. Call it at mint time and
+// carry the answer in the context's sampled flag; downstream processes then
+// honor the flag instead of re-deciding. False on a nil receiver.
+func (s *Sampler) Sampled(tc TraceContext) bool {
+	if s == nil {
+		return false
+	}
+	return tc.randUint64() < s.threshold
+}
+
+// Keep is the tail decision: whether to persist a finished request's trace.
+// head is the trace's head-sampling decision (the context's sampled flag);
+// dur and isErr are the request's outcome. Errors and slow requests are
+// kept regardless of head, everything kept is charged against the rate cap.
+// False on a nil receiver.
+func (s *Sampler) Keep(head bool, dur time.Duration, isErr bool) bool {
+	if s == nil {
+		return false
+	}
+	if !isErr && !(s.slowNS > 0 && int64(dur) >= s.slowNS) && !head {
+		return false
+	}
+	return s.take()
+}
+
+// take spends one rate-cap token (always true when uncapped).
+func (s *Sampler) take() bool {
+	if s.ratePerNS <= 0 {
+		return true
+	}
+	now := s.nowNS()
+	s.mu.Lock()
+	if dt := now - s.last; dt > 0 {
+		s.tokens = math.Min(s.tokens+float64(dt)*s.ratePerNS, s.burst)
+		s.last = now
+	}
+	ok := s.tokens >= 1
+	if ok {
+		s.tokens--
+	}
+	s.mu.Unlock()
+	return ok
+}

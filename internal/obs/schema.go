@@ -28,6 +28,11 @@ import "fmt"
 //	                schema_version stamp (loadgen only; optional — added
 //	                additively within v1, so readers must load run
 //	                directories that lack it)
+//	traces.jsonl    one TraceRecord per line: v, trace_id (32 hex),
+//	                span_id (16 hex), parent_span_id, kind
+//	                ("client"/"server"), request_id, span (the span tree,
+//	                trace.json shape); written only for tail-sampled
+//	                requests (optional — additive within v1)
 //
 // Version 0 is the pre-versioning schema (identical minus the version
 // stamps); readers accept it as legacy.

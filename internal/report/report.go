@@ -45,6 +45,13 @@ type Run struct {
 	// Histograms holds histograms.json's named latency snapshots (loadgen
 	// runs only; nil when absent).
 	Histograms map[string]obs.HistogramSnapshot
+	// Traces holds traces.jsonl in line order (nil when the run kept no
+	// sampled traces — the file is only created on the first kept trace).
+	Traces []TraceLine
+	// Metrics holds metrics.json's scalar values — counters and gauges by
+	// name. Histogram entries are skipped (Histograms carries the latency
+	// series). Nil when the artifact is absent.
+	Metrics map[string]float64
 }
 
 // Event is one parsed events.jsonl line: the envelope fields plus the
@@ -98,7 +105,69 @@ func Load(dir string) (*Run, error) {
 	if r.Histograms, err = loadHistograms(filepath.Join(dir, obs.HistogramsFile)); err != nil {
 		return nil, err
 	}
+	if r.Traces, err = loadTraceLines(filepath.Join(dir, obs.TracesFile)); err != nil {
+		return nil, err
+	}
+	if r.Metrics, err = loadMetrics(filepath.Join(dir, obs.MetricsFile)); err != nil {
+		return nil, err
+	}
 	return r, nil
+}
+
+// loadMetrics parses metrics.json's scalar entries (nil with a nil error
+// when absent). Non-numeric values — histogram snapshots — are skipped.
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("report: parse %s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	for name, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[name] = f
+		}
+	}
+	return out, nil
+}
+
+// loadTraceLines parses traces.jsonl (nil with a nil error when absent —
+// the artifact is additive, and even a traced run writes it lazily).
+func loadTraceLines(path string) ([]TraceLine, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	defer f.Close()
+	var lines []TraceLine
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for ln := 1; sc.Scan(); ln++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var tl TraceLine
+		if err := json.Unmarshal(sc.Bytes(), &tl); err != nil {
+			return nil, fmt.Errorf("report: %s line %d: %w", path, ln, err)
+		}
+		if err := obs.CheckSchemaVersion(tl.V); err != nil {
+			return nil, fmt.Errorf("report: %s line %d: %w", path, ln, err)
+		}
+		lines = append(lines, tl)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("report: scan %s: %w", path, err)
+	}
+	return lines, nil
 }
 
 // loadHistograms parses histograms.json (nil with a nil error when absent —

@@ -1,0 +1,183 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloRunDir writes a minimal run directory whose events.jsonl holds one
+// http_request line per (status, durationMS, offset) tuple.
+func sloRunDir(t *testing.T, reqs []sloReq) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"schema_version":1,"tool":"test"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	var b strings.Builder
+	for _, r := range reqs {
+		fmt.Fprintf(&b, `{"v":1,"time":%q,"msg":"http_request","status":%d,"duration_ms":%g}`+"\n",
+			base.Add(r.offset).Format(time.RFC3339Nano), r.status, r.durMS)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "events.jsonl"), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+type sloReq struct {
+	status int
+	durMS  float64
+	offset time.Duration
+}
+
+func TestSLOFromEvents(t *testing.T) {
+	// 100 requests over 30 minutes: 2 errors early, 2 slow late. The 5m
+	// window (ending at the last event) sees only the late half.
+	var reqs []sloReq
+	for i := 0; i < 100; i++ {
+		r := sloReq{status: 200, durMS: 1, offset: time.Duration(i) * 18 * time.Second}
+		if i < 2 {
+			r.status = 500
+		}
+		if i >= 98 {
+			r.durMS = 50
+		}
+		reqs = append(reqs, r)
+	}
+	run, err := Load(sloRunDir(t, reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := run.SLO(SLOOptions{
+		Availability:     0.99,
+		LatencyObjective: 10 * time.Millisecond,
+		LatencyTarget:    0.95,
+	})
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want availability + latency", len(rep.Results))
+	}
+	avail, lat := rep.Results[0], rep.Results[1]
+
+	if avail.Name != "availability" || avail.Source != "events.jsonl" {
+		t.Errorf("availability result = %+v", avail)
+	}
+	if avail.Requests != 100 || avail.Bad != 2 {
+		t.Errorf("availability counted %d/%d bad, want 2/100", avail.Bad, avail.Requests)
+	}
+	// 2% bad against a 1% budget: spent 2x — exhausted.
+	if got := avail.BudgetSpent; got < 1.99 || got > 2.01 {
+		t.Errorf("availability budget spent = %g, want ~2.0", got)
+	}
+	if !avail.Exhausted() || !rep.Exhausted() {
+		t.Error("a 2x overspend must report exhausted")
+	}
+	// Both errors are >5m before the end: the 5m burn window must be clean,
+	// the 1h window (whole run) must see them.
+	if len(avail.Windows) != 2 {
+		t.Fatalf("windows = %+v", avail.Windows)
+	}
+	if w := avail.Windows[0]; w.Window != 5*time.Minute || w.Bad != 0 || w.Burn != 0 {
+		t.Errorf("5m availability window = %+v, want 0 bad", w)
+	}
+	if w := avail.Windows[1]; w.Window != time.Hour || w.Bad != 2 || w.Burn <= 0 {
+		t.Errorf("1h availability window = %+v, want the 2 errors", w)
+	}
+
+	// Latency: 2 slow of 100 against a 5% budget — 40% spent, not exhausted.
+	if lat.Name != "latency" || lat.Bad != 2 || lat.Exhausted() {
+		t.Errorf("latency result = %+v", lat)
+	}
+	// The slow requests are in the last 5m: the fast window must burn
+	// hotter than the whole-run rate (fast-burn detection).
+	if len(lat.Windows) != 2 || lat.Windows[0].Bad != 2 {
+		t.Fatalf("latency windows = %+v, want the 2 slow requests inside 5m", lat.Windows)
+	}
+	if lat.Windows[0].Burn <= lat.BudgetSpent {
+		t.Errorf("5m latency burn %g must exceed the whole-run %g when the slowness is recent",
+			lat.Windows[0].Burn, lat.BudgetSpent)
+	}
+
+	var b strings.Builder
+	rep.Write(&b, "dir")
+	out := b.String()
+	for _, want := range []string{"BUDGET EXHAUSTED (availability)", "burn 5m0s:", "burn 1h0m0s:", "target 99%", "under 10ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSLOFromHistogramsOnly pins the CI-fixture contract: a run directory
+// holding nothing but manifest.json and histograms.json must still answer
+// the latency SLO (no windows), and report the availability SLI as no-data
+// rather than inventing one.
+func TestSLOFromHistogramsOnly(t *testing.T) {
+	run, err := Load(filepath.Join("testdata", "served_base"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := run.SLO(SLOOptions{
+		Availability:     0.999,
+		LatencyObjective: 5 * time.Millisecond,
+		LatencyTarget:    0.99,
+	})
+	avail, lat := rep.Results[0], rep.Results[1]
+	if avail.Source != "" {
+		t.Errorf("availability from a histograms-only run claims source %q", avail.Source)
+	}
+	if lat.Source != "histograms.json" || lat.Requests != 100_000 {
+		t.Errorf("latency result = %+v, want histogram-sourced over 100000 requests", lat)
+	}
+	// The fixture maxes out near 1ms: a 5ms objective is fully met.
+	if lat.Bad != 0 || lat.Exhausted() {
+		t.Errorf("latency under a generous objective = %+v", lat)
+	}
+	if len(lat.Windows) != 0 {
+		t.Errorf("histogram-only SLI cannot window, got %+v", lat.Windows)
+	}
+	if rep.Vacuous() || rep.Exhausted() {
+		t.Errorf("report = vacuous %v exhausted %v, want neither", rep.Vacuous(), rep.Exhausted())
+	}
+
+	// A tight objective must trip the gate from the same fixture.
+	tight := run.SLO(SLOOptions{LatencyObjective: 2 * time.Microsecond, LatencyTarget: 0.99})
+	if !tight.Exhausted() {
+		t.Errorf("2µs objective against a ~16µs-mean fixture must exhaust the budget: %+v", tight.Results)
+	}
+
+	// Nothing configured answers: vacuous.
+	availOnly := run.SLO(SLOOptions{Availability: 0.999})
+	if !availOnly.Vacuous() {
+		t.Error("availability-only SLO on a histograms-only run must be vacuous")
+	}
+}
+
+func TestSLOAvailabilityFromLoadgenMetrics(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("manifest.json", `{"schema_version":1,"tool":"loadgen"}`)
+	writeFile("metrics.json", `{"loadgen.errors_non2xx":3,"loadgen.errors_transport":1,"loadgen.requests":0}`)
+	writeFile("histograms.json", `{"schema_version":1,"histograms":{"request_latency_ns":{"precision":7,"count":1000,"sum":1000000,"min":900,"max":1100,"buckets":{"1000":1000}}}}`)
+	run, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := run.SLO(SLOOptions{Availability: 0.99})
+	res := rep.Results[0]
+	if res.Source != "metrics.json" || res.Requests != 1000 || res.Bad != 4 {
+		t.Errorf("availability fallback = %+v, want 4/1000 bad from metrics.json", res)
+	}
+	if res.Compliance != 0.996 {
+		t.Errorf("compliance = %g, want 0.996", res.Compliance)
+	}
+}

@@ -1,0 +1,227 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file is the cross-process half of the trace read side: where trace.go
+// profiles one process's span tree (trace.json), AssembleTraces joins the
+// per-request sampled traces (traces.jsonl) that two processes persisted —
+// loadgen's client spans and advisord's server spans — by W3C trace ID into
+// merged trees. The join makes the wire visible: the gap between a client
+// span and the server span nested under it is transport plus queue time,
+// which neither process can measure alone.
+
+// TraceLine is one parsed traces.jsonl record: the span-context envelope
+// (IDs, kind, request ID) around a span tree in the trace.json shape.
+type TraceLine struct {
+	// V is the record's schema stamp.
+	V int `json:"v"`
+	// TraceID and SpanID name this record's span context (hex).
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	// ParentSpanID is the caller's span ID ("" for a locally minted root).
+	// A server record's parent is the client span that carried the request,
+	// which is what the cross-process join grafts on.
+	ParentSpanID string `json:"parent_span_id"`
+	// Kind is the recording process's role: obs.TraceKindClient or
+	// obs.TraceKindServer.
+	Kind string `json:"kind"`
+	// RequestID is the X-Request-ID the span served (may be empty).
+	RequestID string `json:"request_id"`
+	// Span is the recorded span tree.
+	Span *TraceSpan `json:"span"`
+}
+
+// TraceNode is one span of an assembled cross-process tree: the TraceSpan
+// shape plus which process recorded it.
+type TraceNode struct {
+	// Kind is the recording side ("client" or "server"); children inherit
+	// their record's kind.
+	Kind string
+	// Name, Start, DurationMS, and Counters mirror the recorded span.
+	Name       string
+	Start      time.Time
+	DurationMS float64
+	Counters   map[string]int64
+	// Children holds same-process children first, then any grafted
+	// remote-process roots.
+	Children []*TraceNode
+}
+
+// AssembledTrace is one distributed trace joined across run directories.
+type AssembledTrace struct {
+	// TraceID is the shared 128-bit trace ID (hex).
+	TraceID string
+	// RequestID is the request ID the halves agreed on ("" when absent).
+	RequestID string
+	// Root is the merged tree: the client record's span with each joined
+	// server record grafted under it. A server-only trace's root is the
+	// server span.
+	Root *TraceNode
+	// Complete reports that a client and a server half joined: a server
+	// record's parent span ID named a client record's span ID.
+	Complete bool
+	// SkewMS is serverStart − clientStart for a complete trace: one-way
+	// transport plus server queueing plus any clock skew between the two
+	// processes. Meaningless when Complete is false.
+	SkewMS float64
+	// NetMS is clientDuration − serverDuration for a complete trace: the
+	// round trip's time outside the server handler (transport both ways
+	// plus queueing). Clock-skew free — both durations are monotonic.
+	NetMS float64
+}
+
+// TraceAssembly is the result of joining trace records across runs.
+type TraceAssembly struct {
+	// Traces holds the assembled traces ordered by root start time.
+	Traces []*AssembledTrace
+	// Complete counts traces with both halves joined.
+	Complete int
+	// ClientOnly and ServerOnly count one-sided traces — sampled on one
+	// side but not kept by the other (tail policies are independent).
+	ClientOnly, ServerOnly int
+}
+
+// AssembleTraces joins the trace records of the given runs by trace ID.
+// Records of kind client become roots; each server record is grafted under
+// the client record whose span ID its parent names. Typical use joins a
+// loadgen run dir (client halves) with the advisord run dir it drove
+// (server halves), but the join keys on record kind, not argument order.
+func AssembleTraces(runs ...*Run) *TraceAssembly {
+	byTrace := make(map[string][]TraceLine)
+	var order []string
+	for _, r := range runs {
+		if r == nil {
+			continue
+		}
+		for _, tl := range r.Traces {
+			if tl.Span == nil || tl.TraceID == "" {
+				continue
+			}
+			if _, ok := byTrace[tl.TraceID]; !ok {
+				order = append(order, tl.TraceID)
+			}
+			byTrace[tl.TraceID] = append(byTrace[tl.TraceID], tl)
+		}
+	}
+	asm := &TraceAssembly{}
+	for _, id := range order {
+		at := assembleOne(id, byTrace[id])
+		switch {
+		case at.Complete:
+			asm.Complete++
+		case at.Root.Kind == "client":
+			asm.ClientOnly++
+		default:
+			asm.ServerOnly++
+		}
+		asm.Traces = append(asm.Traces, at)
+	}
+	sort.SliceStable(asm.Traces, func(i, j int) bool {
+		return asm.Traces[i].Root.Start.Before(asm.Traces[j].Root.Start)
+	})
+	return asm
+}
+
+// assembleOne merges one trace ID's records into a tree.
+func assembleOne(id string, recs []TraceLine) *AssembledTrace {
+	at := &AssembledTrace{TraceID: id}
+	// The client half anchors the tree; with several client records (not a
+	// shape the CLIs produce) the earliest wins and the rest are dropped
+	// into the server-graft pass below as unjoinable leftovers.
+	var client *TraceLine
+	for i := range recs {
+		tl := &recs[i]
+		if tl.Kind != "server" && (client == nil || tl.Span.Start.Before(client.Span.Start)) {
+			client = tl
+		}
+	}
+	if client != nil {
+		at.Root = nodeFromSpan(client.Span, client.Kind)
+		at.RequestID = client.RequestID
+	}
+	for i := range recs {
+		tl := &recs[i]
+		if tl.Kind != "server" || tl.Span == nil {
+			continue
+		}
+		node := nodeFromSpan(tl.Span, tl.Kind)
+		if client != nil && tl.ParentSpanID == client.SpanID {
+			// The wire join: the server's parent span ID is the client span
+			// that carried the request, so the server tree nests under it.
+			at.Root.Children = append(at.Root.Children, node)
+			at.Complete = true
+			at.SkewMS = float64(tl.Span.Start.Sub(client.Span.Start)) / float64(time.Millisecond)
+			at.NetMS = client.Span.DurationMS - tl.Span.DurationMS
+			if at.RequestID == "" {
+				at.RequestID = tl.RequestID
+			}
+		} else if at.Root == nil {
+			at.Root = node
+			at.RequestID = tl.RequestID
+		} else if client == nil {
+			// Several server-only records: keep the first as root, graft the
+			// rest beside it so nothing sampled is silently dropped.
+			at.Root.Children = append(at.Root.Children, node)
+		}
+	}
+	return at
+}
+
+// nodeFromSpan converts a recorded span tree into TraceNodes of one kind.
+func nodeFromSpan(s *TraceSpan, kind string) *TraceNode {
+	n := &TraceNode{
+		Kind:       kind,
+		Name:       s.Name,
+		Start:      s.Start,
+		DurationMS: s.DurationMS,
+		Counters:   s.Counters,
+	}
+	for _, c := range s.Children {
+		n.Children = append(n.Children, nodeFromSpan(c, kind))
+	}
+	return n
+}
+
+// Write renders the assembly: one header per trace (IDs, completeness, the
+// skew and net/queue split) over the indented merged tree, with each span's
+// recording side tagged when it differs from its parent's.
+func (a *TraceAssembly) Write(w io.Writer) error {
+	if len(a.Traces) == 0 {
+		return fmt.Errorf("report: no sampled traces to assemble (run with tracing enabled: loadgen -trace-sample / advisord -trace-sample)")
+	}
+	fmt.Fprintf(w, "assembled %d trace(s): %d complete (client+server), %d client-only, %d server-only\n",
+		len(a.Traces), a.Complete, a.ClientOnly, a.ServerOnly)
+	for _, at := range a.Traces {
+		fmt.Fprintf(w, "\ntrace %s", at.TraceID)
+		if at.RequestID != "" {
+			fmt.Fprintf(w, " (request %s)", at.RequestID)
+		}
+		if at.Complete {
+			fmt.Fprintf(w, " — skew %+.2fms, net+queue %.2fms", at.SkewMS, at.NetMS)
+		} else {
+			fmt.Fprintf(w, " — %s half only", at.Root.Kind)
+		}
+		fmt.Fprintln(w)
+		writeNode(w, at.Root, 1, at.Root.Kind)
+	}
+	return nil
+}
+
+// writeNode renders one span line and recurses. The [kind] tag appears only
+// at process boundaries, so a merged tree reads as one request with the hop
+// marked.
+func writeNode(w io.Writer, n *TraceNode, depth int, parentKind string) {
+	fmt.Fprintf(w, "%*s%s  %.2fms", 2*depth, "", n.Name, n.DurationMS)
+	if n.Kind != parentKind {
+		fmt.Fprintf(w, "  [%s]", n.Kind)
+	}
+	fmt.Fprintln(w)
+	for _, c := range n.Children {
+		writeNode(w, c, depth+1, n.Kind)
+	}
+}

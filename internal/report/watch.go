@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -147,6 +148,11 @@ type WatchSample struct {
 	// P50NS and P99NS are latency quantiles in nanoseconds — rolling-window
 	// estimates from /metrics, whole-run estimates from a run directory.
 	P50NS, P99NS int64
+	// AvailBurn and LatBurn are the server's rolling SLO error-budget burn
+	// rates (advisord_slo_error_budget_burn), valid only when HasBurn is
+	// set — the server only exposes them when started with SLO flags.
+	AvailBurn, LatBurn float64
+	HasBurn            bool
 }
 
 // WatchSource produces one sample per call. An error marks the poll failed;
@@ -191,6 +197,14 @@ func MetricsSource(client *http.Client, url string) WatchSource {
 					out.P50NS = int64(s.Value * 1e9)
 				case "0.99":
 					out.P99NS = int64(s.Value * 1e9)
+				}
+			case "advisord_slo_error_budget_burn":
+				out.HasBurn = true
+				switch s.Label("slo") {
+				case "availability":
+					out.AvailBurn = s.Value
+				case "latency":
+					out.LatBurn = s.Value
 				}
 			}
 		}
@@ -241,6 +255,39 @@ type WatchOptions struct {
 	// BreachPolls is the consecutive-breach count that trips the gate
 	// (0 = DefaultBreachPolls).
 	BreachPolls int
+	// Format selects the rendering: "" or "text" for the human table,
+	// "json" for one JSON object per poll (JSONL) plus a summary object —
+	// the machine-readable twin for piping into jq or a dashboard.
+	Format string
+}
+
+// WatchPollJSON is one poll's row in `watch -format json` output. Optional
+// fields are pointers so a missing value round-trips as null, not zero.
+type WatchPollJSON struct {
+	Poll     int    `json:"poll"`
+	Error    string `json:"error,omitempty"`
+	Requests int64  `json:"requests"`
+	// RatePerSec is nil on the first poll (no delta yet).
+	RatePerSec *float64 `json:"rate_per_sec,omitempty"`
+	Errors     int64    `json:"errors"`
+	P50NS      int64    `json:"p50_ns"`
+	P99NS      int64    `json:"p99_ns"`
+	// BurnAvailability and BurnLatency mirror the server's SLO burn gauges
+	// (nil when the server exposes none).
+	BurnAvailability *float64 `json:"burn_availability,omitempty"`
+	BurnLatency      *float64 `json:"burn_latency,omitempty"`
+	OverBudget       bool     `json:"over_budget,omitempty"`
+}
+
+// WatchSummaryJSON is the final row of `watch -format json` output.
+type WatchSummaryJSON struct {
+	Summary  bool  `json:"summary"`
+	Polls    int   `json:"polls"`
+	Failures int   `json:"failures"`
+	Breached bool  `json:"breached"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	P99NS    int64 `json:"p99_ns"`
 }
 
 // DefaultBreachPolls is how many consecutive over-budget polls trip the
@@ -266,19 +313,23 @@ func Watch(w io.Writer, src WatchSource, opt WatchOptions) WatchResult {
 	if opt.BreachPolls <= 0 {
 		opt.BreachPolls = DefaultBreachPolls
 	}
-	fmt.Fprintf(w, "watch %s", opt.Target)
-	if opt.Polls > 0 {
-		fmt.Fprintf(w, ": %d polls", opt.Polls)
+	jsonOut := opt.Format == "json"
+	enc := json.NewEncoder(w)
+	if !jsonOut {
+		fmt.Fprintf(w, "watch %s", opt.Target)
+		if opt.Polls > 0 {
+			fmt.Fprintf(w, ": %d polls", opt.Polls)
+		}
+		if opt.Interval > 0 {
+			fmt.Fprintf(w, " every %v", opt.Interval)
+		}
+		if opt.P99Budget > 0 {
+			fmt.Fprintf(w, " (p99 budget %v, %d consecutive to fail)", opt.P99Budget, opt.BreachPolls)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%6s  %10s  %10s  %8s  %10s  %10s\n",
+			"poll", "requests", "rate/s", "errors", "p50", "p99")
 	}
-	if opt.Interval > 0 {
-		fmt.Fprintf(w, " every %v", opt.Interval)
-	}
-	if opt.P99Budget > 0 {
-		fmt.Fprintf(w, " (p99 budget %v, %d consecutive to fail)", opt.P99Budget, opt.BreachPolls)
-	}
-	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%6s  %10s  %10s  %8s  %10s  %10s\n",
-		"poll", "requests", "rate/s", "errors", "p50", "p99")
 
 	var res WatchResult
 	var prev WatchSample
@@ -294,36 +345,73 @@ func Watch(w io.Writer, src WatchSource, opt WatchOptions) WatchResult {
 		s, err := src()
 		if err != nil {
 			res.Failures++
-			fmt.Fprintf(w, "%6d  poll failed: %v\n", i+1, err)
+			if jsonOut {
+				_ = enc.Encode(WatchPollJSON{Poll: i + 1, Error: err.Error()})
+			} else {
+				fmt.Fprintf(w, "%6d  poll failed: %v\n", i+1, err)
+			}
 			continue
 		}
-		rate := "-"
-		errDelta := ""
+		var rateVal *float64
 		if havePrev {
 			if dt := now.Sub(prevAt); dt > 0 && s.Requests >= prev.Requests {
-				rate = fmt.Sprintf("%.1f", float64(s.Requests-prev.Requests)/dt.Seconds())
-			}
-			if d := s.Errors - prev.Errors; d > 0 {
-				errDelta = fmt.Sprintf(" (+%d)", d)
+				v := float64(s.Requests-prev.Requests) / dt.Seconds()
+				rateVal = &v
 			}
 		}
-		status := ""
-		if opt.P99Budget > 0 && s.P99NS > int64(opt.P99Budget) {
+		over := opt.P99Budget > 0 && s.P99NS > int64(opt.P99Budget)
+		if over {
 			streak++
-			status = fmt.Sprintf("  OVER BUDGET (%d/%d)", streak, opt.BreachPolls)
 		} else {
 			streak = 0
 		}
-		fmt.Fprintf(w, "%6d  %10d  %10s  %8s  %10v  %10v%s\n",
-			i+1, s.Requests, rate,
-			strconv.FormatInt(s.Errors, 10)+errDelta,
-			time.Duration(s.P50NS), time.Duration(s.P99NS), status)
+		if jsonOut {
+			row := WatchPollJSON{
+				Poll: i + 1, Requests: s.Requests, RatePerSec: rateVal,
+				Errors: s.Errors, P50NS: s.P50NS, P99NS: s.P99NS, OverBudget: over,
+			}
+			if s.HasBurn {
+				ab, lb := s.AvailBurn, s.LatBurn
+				row.BurnAvailability, row.BurnLatency = &ab, &lb
+			}
+			_ = enc.Encode(row)
+		} else {
+			rate := "-"
+			if rateVal != nil {
+				rate = fmt.Sprintf("%.1f", *rateVal)
+			}
+			errDelta := ""
+			if havePrev {
+				if d := s.Errors - prev.Errors; d > 0 {
+					errDelta = fmt.Sprintf(" (+%d)", d)
+				}
+			}
+			status := ""
+			if s.HasBurn {
+				status = fmt.Sprintf("  burn %.2f/%.2f", s.AvailBurn, s.LatBurn)
+			}
+			if over {
+				status += fmt.Sprintf("  OVER BUDGET (%d/%d)", streak, opt.BreachPolls)
+			}
+			fmt.Fprintf(w, "%6d  %10d  %10s  %8s  %10v  %10v%s\n",
+				i+1, s.Requests, rate,
+				strconv.FormatInt(s.Errors, 10)+errDelta,
+				time.Duration(s.P50NS), time.Duration(s.P99NS), status)
+		}
 		res.Last = s
 		prev, prevAt, havePrev = s, now, true
 		if streak >= opt.BreachPolls {
 			res.Breached = true
 			break
 		}
+	}
+	if jsonOut {
+		_ = enc.Encode(WatchSummaryJSON{
+			Summary: true, Polls: res.Polls, Failures: res.Failures,
+			Breached: res.Breached, Requests: res.Last.Requests,
+			Errors: res.Last.Errors, P99NS: res.Last.P99NS,
+		})
+		return res
 	}
 	switch {
 	case res.Breached:

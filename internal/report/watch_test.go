@@ -188,6 +188,92 @@ func TestWatchBreachStreakResets(t *testing.T) {
 	}
 }
 
+// TestWatchJSONRoundTrip: -format json emits one decodable object per poll
+// plus a summary object, and every field survives the trip.
+func TestWatchJSONRoundTrip(t *testing.T) {
+	var n int64
+	src := func() (WatchSample, error) {
+		n++
+		if n == 2 {
+			return WatchSample{}, fmt.Errorf("scrape refused")
+		}
+		return WatchSample{
+			Requests: n * 100, Errors: n, P50NS: 1000, P99NS: 5000,
+			AvailBurn: 0.25, LatBurn: 1.5, HasBurn: true,
+		}, nil
+	}
+	var buf bytes.Buffer
+	res := Watch(&buf, src, WatchOptions{Target: "test", Polls: 3, Format: "json"})
+	if res.Polls != 3 || res.Failures != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("emitted %d lines, want 3 polls + summary:\n%s", len(lines), buf.String())
+	}
+	var polls []WatchPollJSON
+	for _, ln := range lines[:3] {
+		var row WatchPollJSON
+		if err := json.Unmarshal([]byte(ln), &row); err != nil {
+			t.Fatalf("poll row %q: %v", ln, err)
+		}
+		polls = append(polls, row)
+	}
+	if polls[0].Poll != 1 || polls[0].Requests != 100 || polls[0].RatePerSec != nil {
+		t.Errorf("first poll = %+v (no rate before a delta exists)", polls[0])
+	}
+	if polls[0].BurnAvailability == nil || *polls[0].BurnAvailability != 0.25 ||
+		polls[0].BurnLatency == nil || *polls[0].BurnLatency != 1.5 {
+		t.Errorf("burn fields = %+v", polls[0])
+	}
+	if polls[1].Error == "" || polls[1].Requests != 0 {
+		t.Errorf("failed poll = %+v, want an error field", polls[1])
+	}
+	if polls[2].Poll != 3 || polls[2].Requests != 300 || polls[2].RatePerSec == nil {
+		t.Errorf("third poll = %+v (rate resumes once a prior sample exists)", polls[2])
+	}
+	var sum WatchSummaryJSON
+	if err := json.Unmarshal([]byte(lines[3]), &sum); err != nil {
+		t.Fatalf("summary row %q: %v", lines[3], err)
+	}
+	want := WatchSummaryJSON{Summary: true, Polls: 3, Failures: 1, Requests: 300, Errors: 3, P99NS: 5000}
+	if sum != want {
+		t.Errorf("summary = %+v, want %+v", sum, want)
+	}
+	// No stray text: every line must be JSON.
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "{") {
+			t.Errorf("non-JSON line in -format json output: %q", ln)
+		}
+	}
+}
+
+// TestWatchBurnColumnFromMetrics: a server exposing SLO burn gauges shows
+// up in both the parsed sample and the text rendering.
+func TestWatchBurnColumnFromMetrics(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `advisord_requests_total 10
+advisord_request_latency_seconds{quantile="0.5"} 0.001
+advisord_request_latency_seconds{quantile="0.99"} 0.002
+advisord_slo_error_budget_burn{slo="availability"} 0.5
+advisord_slo_error_budget_burn{slo="latency"} 2.25
+`)
+	}))
+	defer ts.Close()
+	s, err := MetricsSource(nil, ts.URL)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasBurn || s.AvailBurn != 0.5 || s.LatBurn != 2.25 {
+		t.Fatalf("sample = %+v, want burn 0.5/2.25", s)
+	}
+	var buf bytes.Buffer
+	Watch(&buf, MetricsSource(nil, ts.URL), WatchOptions{Target: ts.URL, Polls: 1})
+	if !strings.Contains(buf.String(), "burn 0.50/2.25") {
+		t.Errorf("text watch does not surface the burn rates:\n%s", buf.String())
+	}
+}
+
 func TestWatchAllPollsFail(t *testing.T) {
 	src := func() (WatchSample, error) { return WatchSample{}, fmt.Errorf("connection refused") }
 	var buf bytes.Buffer

@@ -91,6 +91,25 @@ type Config struct {
 	Slow time.Duration
 	// SlowLog, when set, receives one line per slow request.
 	SlowLog io.Writer
+	// Sampler, when set, enables distributed tracing: inbound traceparent
+	// headers are adopted (minted otherwise), every instrumented request
+	// records a span tree, and the sampler's tail decision picks which trees
+	// are persisted. Nil disables tracing entirely (the obs convention).
+	Sampler *obs.Sampler
+	// Traces, when set, receives the kept traces (a run dir's
+	// obs.RunDir.Traces()). Nil keeps sampling decisions but drops the
+	// records — useful only in tests.
+	Traces *obs.TraceLog
+	// SLOAvailability is the availability SLO target in (0, 1), e.g. 0.999
+	// = "99.9% of requests answer without a 4xx/5xx". 0 disables the
+	// availability burn-rate gauge on /metrics.
+	SLOAvailability float64
+	// SLOLatencyObjective and SLOLatencyTarget define the latency SLO:
+	// SLOLatencyTarget of requests (e.g. 0.99) must finish within
+	// SLOLatencyObjective (e.g. 1ms). Either zero disables the latency
+	// burn-rate gauge.
+	SLOLatencyObjective time.Duration
+	SLOLatencyTarget    float64
 }
 
 // Server answers advisor decisions over HTTP. Build with New, expose via
@@ -120,6 +139,10 @@ type Server struct {
 	idSeq    atomic.Uint64
 	// slow retains the most recent slow-request exemplars (/debug/slow).
 	slow slowRing
+	// traces counts tail-sampled traces persisted to traces.jsonl.
+	traces atomic.Int64
+	// buildVersion and buildCommit label the advisord_build_info gauge.
+	buildVersion, buildCommit string
 	// decideHook, when set (tests only), runs at the top of the decide
 	// handler — the seam the graceful-shutdown drain test blocks on.
 	decideHook func()
@@ -163,6 +186,7 @@ func New(cfg Config) *Server {
 		werr:     obs.NewWindowedCounter(cfg.Window, cfg.Windows),
 		idPrefix: requestIDPrefix(),
 	}
+	s.buildVersion, s.buildCommit = obs.BuildIdentity()
 	for _, name := range registry.Names() {
 		s.known[name] = true
 	}
@@ -283,7 +307,8 @@ func (r *statusRecorder) WriteHeader(code int) {
 const RequestIDHeader = "X-Request-ID"
 
 // instrument wraps a handler with the per-endpoint latency histogram, the
-// request/error counters and rolling rates, the request ID, slow-request
+// request/error counters and rolling rates, the request ID, the trace
+// context and server span (when a Sampler is configured), slow-request
 // capture, and the request-log event.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	hist := s.hists[endpoint]
@@ -293,6 +318,10 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 			id = s.nextRequestID()
 		}
 		w.Header().Set(RequestIDHeader, id)
+		st := s.startTrace(w, r, endpoint)
+		if st.span != nil {
+			r = r.WithContext(withSpan(r.Context(), st.span))
+		}
 		s.inFlight.Add(1)
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -306,9 +335,11 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 			s.errors.Add(1)
 			s.werr.Inc()
 		}
+		s.finishTrace(st, id, elapsed, rec.status)
 		if s.cfg.Slow > 0 && elapsed >= s.cfg.Slow {
 			s.recordSlow(SlowRequest{
 				ID:         id,
+				TraceID:    st.traceID(),
 				Endpoint:   endpoint,
 				Method:     r.Method,
 				Path:       r.URL.Path,
@@ -327,6 +358,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		}
 		if rec.queries > 0 {
 			attrs = append(attrs, slog.Int("queries", rec.queries))
+		}
+		if tid := st.traceID(); tid != "" {
+			attrs = append(attrs, slog.String("trace_id", tid))
 		}
 		s.cfg.Events.Emit("http_request", attrs...)
 	})
@@ -354,22 +388,28 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if s.decideHook != nil {
 		s.decideHook()
 	}
+	span := requestSpan(r)
+	decode := span.Child("decode")
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	var req DecideRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		decode.End()
 		s.fail(w, http.StatusBadRequest, "parse request: %v", err)
 		return
 	}
 	if req.V < 0 || req.V > RequestSchemaVersion {
+		decode.End()
 		s.fail(w, http.StatusBadRequest,
 			"request schema v%d not understood (this server speaks up to v%d)", req.V, RequestSchemaVersion)
 		return
 	}
 	if len(req.Requests) == 0 {
+		decode.End()
 		s.fail(w, http.StatusBadRequest, "empty batch: requests must carry 1..%d queries", s.cfg.MaxBatch)
 		return
 	}
 	if len(req.Requests) > s.cfg.MaxBatch {
+		decode.End()
 		s.fail(w, http.StatusBadRequest, "batch of %d queries exceeds the %d cap", len(req.Requests), s.cfg.MaxBatch)
 		return
 	}
@@ -380,6 +420,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	resolved := make([]resolvedQuery, len(req.Requests))
 	for i, q := range req.Requests {
 		if !s.known[q.Dataset] {
+			decode.End()
 			s.fail(w, http.StatusNotFound, "unknown dataset %q (GET /v1/datasets lists the catalog)", q.Dataset)
 			return
 		}
@@ -388,6 +429,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 			rq.scale = s.cfg.Scale
 		}
 		if rq.scale <= 0 || rq.scale > 1 {
+			decode.End()
 			s.fail(w, http.StatusBadRequest, "scale %v outside (0, 1] for dataset %q", rq.scale, q.Dataset)
 			return
 		}
@@ -396,24 +438,34 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		}
 		adv, err := s.advisorFor(q.Rule)
 		if err != nil {
+			decode.End()
 			s.fail(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		rq.adv = adv
 		resolved[i] = rq
 	}
+	decode.End()
 
 	results := make([]Result, len(resolved))
 	for i, q := range resolved {
+		// The name concat is guarded so the tracing-off hot path never pays
+		// the allocation (Child on nil would skip it, but after the concat).
+		var dspan *obs.Span
+		if span != nil {
+			dspan = span.Child("decide(" + q.dataset + ")")
+		}
 		// A miss generates the dataset and collects its statistics exactly
 		// once (the registry's once-cell); every other request for the same
 		// key — including the rest of this batch — waits on or reuses it.
 		e, err := s.reg.Get(q.dataset, q.scale, q.seed)
 		if err != nil {
+			dspan.End()
 			s.fail(w, http.StatusInternalServerError, "resolve %s: %v", q.dataset, err)
 			return
 		}
 		decisions, err := q.adv.DecideFromStats(e.Stats)
+		dspan.End()
 		if err != nil {
 			s.fail(w, http.StatusInternalServerError, "decide %s: %v", q.dataset, err)
 			return

@@ -59,6 +59,10 @@ func (s *Server) nextRequestID() string {
 type SlowRequest struct {
 	// ID is the request's X-Request-ID (inbound or generated).
 	ID string `json:"request_id"`
+	// TraceID is the request's distributed trace ID (empty with tracing
+	// off). Slow requests always pass the tail sampler, so the exemplar
+	// links directly to its persisted trace in traces.jsonl.
+	TraceID string `json:"trace_id,omitempty"`
 	// Endpoint is the instrumented route name ("decide", ...).
 	Endpoint string `json:"endpoint"`
 	Method   string `json:"method"`
@@ -127,9 +131,20 @@ type SlowResponse struct {
 	Slow []SlowRequest `json:"slow"`
 }
 
-// handleSlow serves the slow-request exemplar ring.
+// handleSlow serves the slow-request exemplar ring, newest first. ?n=K
+// limits the response to the K most recent exemplars.
 func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 	slow, total := s.slow.list()
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, "bad n=%q: want a non-negative integer", nStr)
+			return
+		}
+		if n < len(slow) {
+			slow = slow[:n]
+		}
+	}
 	writeJSON(w, http.StatusOK, SlowResponse{
 		V:           RequestSchemaVersion,
 		ThresholdNS: int64(s.cfg.Slow),
@@ -168,6 +183,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ready = 1
 	}
 	p.Int("advisord_ready", nil, ready)
+	p.Type("advisord_build_info", "gauge", "Build identity of the running binary; the value is always 1.")
+	p.Int("advisord_build_info", []string{"version", s.buildVersion, "commit", s.buildCommit}, 1)
+	if s.cfg.Sampler != nil {
+		p.Type("advisord_traces_total", "counter", "Tail-sampled traces persisted to traces.jsonl since process start.")
+		p.Int("advisord_traces_total", nil, s.traces.Load())
+	}
 
 	eps := make([]string, 0, len(s.hists))
 	for ep := range s.hists {
@@ -188,6 +209,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Summary("advisord_request_latency_seconds", []string{"endpoint", ep}, win, cum, 1e-9, metricsQuantiles...)
 	}
 	p.Summary("advisord_request_latency_seconds", nil, winAll, cumAll, 1e-9, metricsQuantiles...)
+
+	// Live SLO burn rates over the rolling window. Burn = (bad fraction) /
+	// (error budget): 1.0 spends the budget exactly at the sustainable
+	// rate, 14.4 exhausts a 30-day budget in 2 days (the SRE fast-burn
+	// alarm). `report watch` and `report slo` read these.
+	if s.cfg.SLOAvailability > 0 || (s.cfg.SLOLatencyObjective > 0 && s.cfg.SLOLatencyTarget > 0) {
+		p.Type("advisord_slo_error_budget_burn", "gauge",
+			"Rolling-window error-budget burn rate per SLO (1.0 = sustainable).")
+	}
+	if target := s.cfg.SLOAvailability; target > 0 {
+		burn := 0.0
+		if reqRate := s.wreq.Rate(); reqRate > 0 {
+			burn = (s.werr.Rate() / reqRate) / (1 - target)
+		}
+		p.Value("advisord_slo_error_budget_burn", []string{"slo", "availability"}, burn)
+		p.Type("advisord_slo_availability_target", "gauge", "Configured availability SLO target.")
+		p.Value("advisord_slo_availability_target", nil, target)
+	}
+	if obj, target := s.cfg.SLOLatencyObjective, s.cfg.SLOLatencyTarget; obj > 0 && target > 0 {
+		burn := 0.0
+		if winAll.Count > 0 {
+			badFrac := 1 - float64(winAll.CountAtOrBelow(obj.Nanoseconds()))/float64(winAll.Count)
+			burn = badFrac / (1 - target)
+		}
+		p.Value("advisord_slo_error_budget_burn", []string{"slo", "latency"}, burn)
+		p.Type("advisord_slo_latency_objective_seconds", "gauge", "Configured latency SLO objective.")
+		p.Value("advisord_slo_latency_objective_seconds", nil, obj.Seconds())
+		p.Type("advisord_slo_latency_target", "gauge", "Configured fraction of requests required within the objective.")
+		p.Value("advisord_slo_latency_target", nil, target)
+	}
 
 	// Cumulative bucket distribution per endpoint.
 	p.Type("advisord_request_duration_seconds", "histogram",

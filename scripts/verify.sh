@@ -25,11 +25,18 @@
 #      dir whose histograms.json `report latency` renders with exit 0; the
 #      committed seeded-regression fixture must make the latency gate exit
 #      1, and the identical-run latency diff must exit 0.
-#   9. advisord smoke test: the daemon must come up on an ephemeral port,
-#      answer a loadgen -url round trip, serve a /metrics exposition with a
-#      nonzero request counter that `report watch` parses, drain cleanly on
-#      SIGTERM (exit 0), remove its addrfile, and flush a histograms.json
-#      that `report latency` renders.
+#   9. advisord smoke test: the daemon must come up on an ephemeral port
+#      (with tracing and SLO flags on), answer a loadgen -url round trip,
+#      serve a /metrics exposition with a nonzero request counter and an
+#      SLO burn gauge that `report watch` parses, drain cleanly on SIGTERM
+#      (exit 0), remove its addrfile, and flush a histograms.json that
+#      `report latency` renders.
+#  10. tracing smoke test: the loadgen -url leg runs with -trace-sample 1,
+#      so both sides persist traces.jsonl; a client trace ID must appear in
+#      the server's traces.jsonl, `report trace client server` must render
+#      the merged cross-process tree with the server span nested under the
+#      client span, and `report slo` must gate the committed served-latency
+#      fixture from its histograms alone.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -98,7 +105,9 @@ fi
 echo "verify: advisord smoke" >&2
 go build -o "$loadgen_dir/advisord" ./cmd/advisord
 "$loadgen_dir/advisord" -addr 127.0.0.1:0 -addrfile "$loadgen_dir/addr" \
-    -datasets Walmart -scale 0.02 -out "$loadgen_dir/adv_run" >/dev/null &
+    -datasets Walmart -scale 0.02 -trace-sample 1 \
+    -slo-availability 0.999 -slo-latency-objective 100ms \
+    -out "$loadgen_dir/adv_run" >/dev/null &
 advisord_pid=$!
 i=0
 while [ ! -s "$loadgen_dir/addr" ]; do
@@ -116,7 +125,8 @@ while [ ! -s "$loadgen_dir/addr" ]; do
 done
 advisord_url="http://$(cat "$loadgen_dir/addr")"
 go run ./cmd/loadgen -url "$advisord_url" \
-    -duration 200ms -scale 0.02 >/dev/null
+    -duration 200ms -scale 0.02 -trace-sample 1 \
+    -out "$loadgen_dir/client_run" >/dev/null
 
 # Scrape the live /metrics exposition (curl where present, wget otherwise),
 # assert the request counter moved, and let `report watch` parse it end to
@@ -131,6 +141,10 @@ if [ -z "$requests" ] || [ "$requests" -le 0 ]; then
     echo "verify: /metrics advisord_requests_total not positive after loadgen (got '${requests:-missing}')" >&2
     exit 1
 fi
+if ! grep -q 'advisord_slo_error_budget_burn' "$loadgen_dir/metrics.prom"; then
+    echo "verify: /metrics is missing the SLO burn gauge despite SLO flags" >&2
+    exit 1
+fi
 go run ./cmd/report watch -count 1 -interval 0s "$advisord_url" >/dev/null
 
 kill -TERM "$advisord_pid"
@@ -143,5 +157,35 @@ if [ -e "$loadgen_dir/addr" ]; then
     exit 1
 fi
 go run ./cmd/report latency "$loadgen_dir/adv_run" >/dev/null
+
+echo "verify: tracing smoke" >&2
+for traces in "$loadgen_dir/client_run/traces.jsonl" "$loadgen_dir/adv_run/traces.jsonl"; do
+    if [ ! -s "$traces" ]; then
+        echo "verify: $traces missing or empty despite -trace-sample 1" >&2
+        exit 1
+    fi
+done
+# The cross-process join: a trace ID kept by the client must also have been
+# kept by the server (head sampling at 1.0 propagates over the wire).
+client_tid="$(sed -n '1s/.*"trace_id":"\([0-9a-f]*\)".*/\1/p' "$loadgen_dir/client_run/traces.jsonl")"
+if [ -z "$client_tid" ]; then
+    echo "verify: could not extract a trace ID from the client traces.jsonl" >&2
+    exit 1
+fi
+if ! grep -q "$client_tid" "$loadgen_dir/adv_run/traces.jsonl"; then
+    echo "verify: client trace $client_tid has no server half in adv_run/traces.jsonl" >&2
+    exit 1
+fi
+go run ./cmd/report trace "$loadgen_dir/client_run" "$loadgen_dir/adv_run" >"$loadgen_dir/trace.out"
+if ! grep -q '\[server\]' "$loadgen_dir/trace.out" || ! grep -Eq 'assembled .* [1-9][0-9]* complete' "$loadgen_dir/trace.out"; then
+    echo "verify: report trace did not assemble a complete cross-process tree:" >&2
+    cat "$loadgen_dir/trace.out" >&2
+    exit 1
+fi
+go run ./cmd/report slo -latency-objective 5ms internal/report/testdata/served_base >/dev/null
+if go run ./cmd/report slo -latency-objective 2us internal/report/testdata/served_base >/dev/null 2>&1; then
+    echo "verify: report slo failed to flag the exhausted budget on the served fixture" >&2
+    exit 1
+fi
 
 echo "verify: ok" >&2
